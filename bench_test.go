@@ -1,0 +1,253 @@
+package lcds
+
+import (
+	"io"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+)
+
+// benchConfig scales the experiment suite for benchmarking. Set the
+// LCDS_BENCH_FULL environment variable to run at the full sizes used for
+// EXPERIMENTS.md; the default keeps `go test -bench=.` affordable.
+func benchConfig() experiments.Config {
+	if os.Getenv("LCDS_BENCH_FULL") != "" {
+		return experiments.Default()
+	}
+	cfg := experiments.Default()
+	cfg.Sizes = []int{512, 1024, 2048, 4096}
+	cfg.FixedN = 2048
+	cfg.Queries = 50000
+	cfg.Procs = []int{1, 4, 16, 64}
+	cfg.Trials = 10
+	return cfg
+}
+
+// benchExperiment regenerates one experiment table per iteration. Run with
+// -v to see the rendered table once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	var out io.Writer = io.Discard
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			out = os.Stderr
+		}
+		if err := tab.Render(out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// One benchmark per evaluation artifact (DESIGN.md §3).
+
+// BenchmarkTableT1 regenerates T1 — Theorem 3's contention/time/space table.
+func BenchmarkTableT1(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkTableT2 regenerates T2 — the §1.3 baseline comparison sweep.
+func BenchmarkTableT2(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkTableT3 regenerates T3 — skewed query distributions.
+func BenchmarkTableT3(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkTableT4 regenerates T4 — construction cost.
+func BenchmarkTableT4(b *testing.B) { benchExperiment(b, "T4") }
+
+// BenchmarkTableT5 regenerates T5 — Lemma 9 success rates.
+func BenchmarkTableT5(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkFigureF1 regenerates F1 — per-cell contention profiles.
+func BenchmarkFigureF1(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkFigureF2 regenerates F2 — hot-spot slowdown vs processors.
+func BenchmarkFigureF2(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkFigureF3 regenerates F3 — the Theorem 13 t* growth series.
+func BenchmarkFigureF3(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkFigureF4 regenerates F4 — Lemma 14/16 accounting on real specs.
+func BenchmarkFigureF4(b *testing.B) { benchExperiment(b, "F4") }
+
+// BenchmarkTableT6 regenerates T6 — absolute contention maxΦ·n.
+func BenchmarkTableT6(b *testing.B) { benchExperiment(b, "T6") }
+
+// BenchmarkTableX1 regenerates X1 — dynamic-extension update contention.
+func BenchmarkTableX1(b *testing.B) { benchExperiment(b, "X1") }
+
+// BenchmarkTableA1 regenerates A1 — space-factor ablation.
+func BenchmarkTableA1(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkTableA2 regenerates A2 — independence-degree ablation.
+func BenchmarkTableA2(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkTableA3 regenerates A3 — memory-bank ablation.
+func BenchmarkTableA3(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkTableA4 regenerates A4 — replica-layout ablation.
+func BenchmarkTableA4(b *testing.B) { benchExperiment(b, "A4") }
+
+// BenchmarkTableA5 regenerates A5 — read-combining ablation.
+func BenchmarkTableA5(b *testing.B) { benchExperiment(b, "A5") }
+
+// BenchmarkTableA6 regenerates A6 — hash-family ablation.
+func BenchmarkTableA6(b *testing.B) { benchExperiment(b, "A6") }
+
+// BenchmarkTableT7 regenerates T7 — uniform-negative query sweep.
+func BenchmarkTableT7(b *testing.B) { benchExperiment(b, "T7") }
+
+// BenchmarkFigureF5 regenerates F5 — open-system saturation curves.
+func BenchmarkFigureF5(b *testing.B) { benchExperiment(b, "F5") }
+
+// BenchmarkTableW1 regenerates W1 — realistic-workload contention.
+func BenchmarkTableW1(b *testing.B) { benchExperiment(b, "W1") }
+
+// BenchmarkTableX2 regenerates X2 — known-distribution skew repair.
+func BenchmarkTableX2(b *testing.B) { benchExperiment(b, "X2") }
+
+// BenchmarkTableP1 regenerates P1 — real-hardware goroutine scaling.
+func BenchmarkTableP1(b *testing.B) { benchExperiment(b, "P1") }
+
+// --- Real shared-memory benchmarks -----------------------------------------
+//
+// The cell-probe model's contention prediction should manifest as wall-clock
+// scalability on actual hardware: structures whose queries converge on few
+// cache lines (binary search root, plain hash parameters) bounce those lines
+// between cores, while the low-contention dictionary's randomized replicas
+// spread traffic. These benches issue membership queries from all procs via
+// RunParallel with probe recording off.
+
+const benchN = 1 << 14
+
+func benchKeys(b *testing.B) []uint64 {
+	b.Helper()
+	return testKeys(benchN, 1)
+}
+
+// BenchmarkParallelLCDS measures concurrent membership queries on the
+// low-contention dictionary.
+func BenchmarkParallelLCDS(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := New(keys, WithSeed(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(rand64())
+		for pb.Next() {
+			k := keys[r.Intn(len(keys))]
+			ok, err := d.inner.Contains(k, r)
+			if err != nil || !ok {
+				b.Fail()
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelFKS measures concurrent queries on replicated FKS.
+func BenchmarkParallelFKS(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := baseline.BuildFKS(keys, true, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(rand64())
+		for pb.Next() {
+			k := keys[r.Intn(len(keys))]
+			ok, err := d.Contains(k, r)
+			if err != nil || !ok {
+				b.Fail()
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelCuckoo measures concurrent queries on replicated cuckoo.
+func BenchmarkParallelCuckoo(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := baseline.BuildCuckoo(keys, true, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(rand64())
+		for pb.Next() {
+			k := keys[r.Intn(len(keys))]
+			ok, err := d.Contains(k, r)
+			if err != nil || !ok {
+				b.Fail()
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelBinarySearch measures concurrent queries on the sorted
+// array — the maximally contended baseline.
+func BenchmarkParallelBinarySearch(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := baseline.BuildBinarySearch(keys, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(rand64())
+		for pb.Next() {
+			k := keys[r.Intn(len(keys))]
+			ok, err := d.Contains(k, r)
+			if err != nil || !ok {
+				b.Fail()
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkPublicContains exercises the facade's per-call RNG derivation.
+func BenchmarkPublicContains(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := New(keys, WithSeed(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Contains(keys[i%len(keys)]) {
+			b.Fatal("lost key")
+		}
+	}
+}
+
+// BenchmarkBuild measures construction throughput at the bench size.
+func BenchmarkBuild(b *testing.B) {
+	keys := benchKeys(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(keys, WithSeed(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSeedCtr atomic.Uint64
+
+// rand64 yields distinct seeds for parallel bench goroutines.
+func rand64() uint64 {
+	s := benchSeedCtr.Add(1) * 0x9e3779b97f4a7c15
+	return rng.SplitMix64(&s)
+}

@@ -1,0 +1,103 @@
+// lcds-bench regenerates the evaluation tables and figure series of
+// DESIGN.md §3 / EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lcds-bench                  # run every experiment at full scale
+//	lcds-bench -exp T2          # one experiment
+//	lcds-bench -quick           # reduced sizes (seconds instead of minutes)
+//	lcds-bench -sizes 1024,4096 -trials 20 -seed 99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1..T5, F1..F4) or 'all'")
+	quick := flag.Bool("quick", false, "use the reduced test-scale configuration")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+	sizes := flag.String("sizes", "", "comma-separated n sweep (overrides default)")
+	fixedN := flag.Int("n", 0, "n for single-size experiments (T3, F1, F2)")
+	queries := flag.Int("queries", 0, "Monte-Carlo query count")
+	trials := flag.Int("trials", 0, "trials for rate experiments (T4, T5)")
+	procs := flag.String("procs", "", "comma-separated processor counts for F2")
+	markdown := flag.Bool("markdown", false, "render GitHub-flavored markdown tables")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *fixedN != 0 {
+		cfg.FixedN = *fixedN
+	}
+	if *queries != 0 {
+		cfg.Queries = *queries
+	}
+	if *trials != 0 {
+		cfg.Trials = *trials
+	}
+	if *sizes != "" {
+		list, err := parseInts(*sizes)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Sizes = list
+	}
+	if *procs != "" {
+		list, err := parseInts(*procs)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Procs = list
+	}
+
+	var ids []string
+	if strings.EqualFold(*exp, "all") {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	for _, id := range ids {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		render := tab.Render
+		if *markdown {
+			render = tab.RenderMarkdown
+		}
+		if err := render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcds-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad list accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}

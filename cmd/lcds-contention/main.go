@@ -1,0 +1,115 @@
+// lcds-contention profiles the contention of one dictionary structure under
+// one query distribution, printing the exact analysis, a Monte-Carlo
+// cross-check, and the hottest-cell profile.
+//
+// Usage:
+//
+//	lcds-contention -structure lcds -n 8192 -dist uniform-pos
+//	lcds-contention -structure fks+rep -dist zipf -zipf 1.1
+//	lcds-contention -structure bsearch -dist point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+func main() {
+	name := flag.String("structure", "lcds", "lcds, fks, fks+rep, dm, cuckoo, cuckoo+rep, bsearch, linear+rep")
+	n := flag.Int("n", 8192, "number of stored keys")
+	distName := flag.String("dist", "uniform-pos", "uniform-pos, uniform-neg, posneg, zipf, point")
+	zipfExp := flag.Float64("zipf", 1.0, "Zipf exponent")
+	queries := flag.Int("queries", 200000, "Monte-Carlo query count")
+	seed := flag.Uint64("seed", 20100613, "random seed")
+	explain := flag.Bool("explain", false, "trace one query step by step (lcds only)")
+	flag.Parse()
+
+	keys := experiments.Keys(*n, *seed)
+	sts, err := experiments.BuildAll(keys, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	var st contention.Structure
+	for _, s := range sts {
+		if s.Name() == *name {
+			st = s
+			break
+		}
+	}
+	if st == nil {
+		fatal(fmt.Errorf("unknown structure %q", *name))
+	}
+
+	var q dist.Dist
+	switch *distName {
+	case "uniform-pos":
+		q = dist.NewUniformSet(keys, "uniform-pos")
+	case "uniform-neg":
+		q = dist.NewUniformComplement(hash.MaxKey, keys)
+	case "posneg":
+		q = dist.PosNeg(keys, hash.MaxKey, 0.5)
+	case "zipf":
+		q = dist.NewZipf(keys, *zipfExp)
+	case "point":
+		q = dist.PointMass{Key: keys[0]}
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *distName))
+	}
+
+	fmt.Printf("structure %s, n = %d, cells = %d, distribution %s\n",
+		st.Name(), st.N(), st.Table().Size(), q.Name())
+
+	if *explain {
+		lc, ok := st.(*core.Dict)
+		if !ok {
+			fatal(fmt.Errorf("-explain supports the lcds structure only"))
+		}
+		fmt.Println()
+		if _, err := lc.Explain(q.Sample(rng.New(*seed^1)), rng.New(*seed^2), os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if sup, ok := q.(dist.Supporter); ok {
+		ex, err := contention.Exact(st, sup.Support())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact:        ratioStep %.1f  ratioTotal %.1f  probes/query %.2f\n",
+			ex.RatioStep(), ex.RatioTotal(), ex.Probes)
+		prof, err := contention.Profile(st, sup.Support())
+		if err != nil {
+			fatal(err)
+		}
+		sorted := contention.SortedDescending(prof)
+		fracs := []float64{0, 1e-4, 1e-3, 1e-2, 0.1, 0.5}
+		vals := contention.Quantiles(sorted, fracs)
+		fmt.Printf("profile (Φ·s at descending quantiles):\n")
+		for i, f := range fracs {
+			fmt.Printf("  q=%-8g %.2f\n", f, vals[i]*float64(len(prof)))
+		}
+	} else {
+		fmt.Println("exact:        (distribution support not enumerable; Monte-Carlo only)")
+	}
+
+	mc, err := contention.MonteCarlo(st, q, *queries, rng.New(*seed^0xabcdef))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("monte-carlo:  ratioStep %.1f  ratioTotal %.1f  probes/query %.2f  (%d queries, %d positive)\n",
+		mc.RatioStep(), mc.MaxTotal*float64(mc.Cells), mc.Probes, mc.Queries, mc.Positives)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcds-contention:", err)
+	os.Exit(1)
+}

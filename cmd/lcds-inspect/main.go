@@ -1,0 +1,77 @@
+// lcds-inspect prints the structure and statistics of a serialized
+// low-contention dictionary, and optionally verifies it by querying every
+// stored key.
+//
+// Usage:
+//
+//	lcds-bench ... | lcds-inspect file.lcds
+//	lcds-inspect -verify file.lcds
+//
+// Files are produced with Dict.WriteTo (package lcds) or core.Dict.WriteTo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func main() {
+	verify := flag.Bool("verify", false, "re-run the exact contention analysis (uniform positive queries)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lcds-inspect [-verify] <file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	d, err := core.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	rep := d.Report()
+	fmt.Printf("low-contention dictionary: n = %d keys\n", rep.N)
+	fmt.Printf("  table: %d rows × %d cells = %d cells (%d histogram rows)\n",
+		rep.Rows, rep.S, rep.Cells, rep.Rho)
+	fmt.Printf("  groups: %d of %d buckets each; g range %d\n", rep.M, rep.S/rep.M, rep.R)
+	fmt.Printf("  loads: max bucket %d, Σℓ² = %d (FKS budget %d)\n",
+		rep.MaxBucketLoad, rep.SumSquares, rep.S)
+	fmt.Printf("  probes per query: ≤ %d\n", d.MaxProbes())
+
+	if !*verify {
+		return
+	}
+	if rep.N == 0 {
+		fmt.Println("verify: empty dictionary, nothing to analyze")
+		return
+	}
+	keys := d.Keys()
+	q := dist.NewUniformSet(keys, "")
+	ex, err := contention.Exact(d, q.Support())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("verify: exact contention ratio %.1f× optimal, %.2f probes/query\n",
+		ex.RatioStep(), ex.Probes)
+	qr := rng.New(1)
+	for _, k := range keys {
+		ok, err := d.Contains(k, qr)
+		if err != nil || !ok {
+			fatal(fmt.Errorf("verification query for %d failed (err %v)", k, err))
+		}
+	}
+	fmt.Printf("verify: all %d stored keys answer true\n", len(keys))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcds-inspect:", err)
+	os.Exit(1)
+}

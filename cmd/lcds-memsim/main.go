@@ -1,0 +1,80 @@
+// lcds-memsim simulates m simultaneous membership queries against a
+// single-port-per-module memory and reports the hot-spot slowdown of each
+// structure — the paper's §1 motivation made observable.
+//
+// Usage:
+//
+//	lcds-memsim -n 8192 -procs 1,4,16,64,256
+//	lcds-memsim -n 8192 -modules 64   # interleave cells over 64 banks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/rng"
+)
+
+func main() {
+	n := flag.Int("n", 8192, "number of stored keys")
+	procsFlag := flag.String("procs", "1,2,4,8,16,32,64,128,256", "processor counts")
+	modules := flag.Int("modules", 0, "memory modules (0 = one per cell)")
+	seed := flag.Uint64("seed", 20100613, "random seed")
+	flag.Parse()
+
+	var procs []int
+	for _, p := range strings.Split(*procsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatal(err)
+		}
+		procs = append(procs, v)
+	}
+
+	keys := experiments.Keys(*n, *seed)
+	sts, err := experiments.ComparisonSet(keys, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	q := dist.NewUniformSet(keys, "")
+
+	fmt.Printf("n = %d keys, uniform positive queries, %s\n\n", *n, moduleDesc(*modules))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "m"
+	for _, st := range sts {
+		header += "\t" + st.Name()
+	}
+	fmt.Fprintln(tw, header+"\t(slowdown = makespan / conflict-free)")
+	for _, m := range procs {
+		row := fmt.Sprintf("%d", m)
+		for _, st := range sts {
+			seqs, err := memsim.Sequences(st, q, m, rng.New(*seed+uint64(m)))
+			if err != nil {
+				fatal(err)
+			}
+			res := memsim.Run(seqs, memsim.Config{Modules: *modules})
+			row += fmt.Sprintf("\t%.2f", res.Slowdown())
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+}
+
+func moduleDesc(m int) string {
+	if m <= 0 {
+		return "one memory module per cell"
+	}
+	return fmt.Sprintf("%d interleaved memory modules", m)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcds-memsim:", err)
+	os.Exit(1)
+}

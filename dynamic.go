@@ -1,0 +1,97 @@
+package lcds
+
+import (
+	"sync"
+
+	"repro/internal/dynamic"
+	"repro/internal/rng"
+)
+
+// newQueryRNG derives a query generator from a counter-based state.
+func newQueryRNG(state uint64) *rng.RNG {
+	return rng.New(rng.SplitMix64(&state))
+}
+
+// DynamicDict is a mutable low-contention dictionary — the paper's §4
+// future-work direction, built as global rebuilding over the static
+// structure with a small replicated update buffer. Reads keep the static
+// contention guarantee up to a constant; updates concentrate on the buffer,
+// which is the inherent cost the paper conjectures (see internal/dynamic
+// and experiment X1).
+//
+// All methods are safe for concurrent use; updates serialize internally.
+type DynamicDict struct {
+	mu    sync.RWMutex
+	inner *dynamic.Dict
+	seed  uint64
+	rng   rngState
+}
+
+// rngState is a lock-free splitmix64 counter for query randomness.
+type rngState struct {
+	mu  sync.Mutex
+	ctr uint64
+}
+
+// NewDynamic builds a dynamic dictionary over the initial keys. bufferFrac
+// is the paper-style ε ∈ (0, 1]: a global rebuild triggers after ε·n
+// buffered updates (pass 0 for the default 0.25).
+func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicDict, error) {
+	cfg := opterr{o: options{seed: 1}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	inner, err := dynamic.New(initial, dynamic.Params{
+		Epsilon: bufferFrac,
+		Static:  cfg.o.params,
+	}, cfg.o.seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicDict{inner: inner, seed: cfg.o.seed}, nil
+}
+
+// Contains reports membership of x.
+func (d *DynamicDict) Contains(x uint64) (bool, error) {
+	d.rng.mu.Lock()
+	d.rng.ctr++
+	c := d.rng.ctr
+	d.rng.mu.Unlock()
+	s := d.seed + c
+	r := newQueryRNG(s)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.inner.Contains(x, r)
+}
+
+// Insert adds x; it reports whether the set changed.
+func (d *DynamicDict) Insert(x uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Insert(x)
+}
+
+// Delete removes x; it reports whether the set changed.
+func (d *DynamicDict) Delete(x uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Delete(x)
+}
+
+// Len returns the current number of keys.
+func (d *DynamicDict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.inner.Len()
+}
+
+// Rebuilds returns how many global rebuilds have occurred (≥ 1; the initial
+// construction counts as the first).
+func (d *DynamicDict) Rebuilds() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.inner.Stats().Epoch
+}

@@ -1,0 +1,107 @@
+package lcds
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDynamicDictBasic(t *testing.T) {
+	keys := testKeys(500, 20)
+	d, err := NewDynamic(keys[:400], 0, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 400 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	for _, k := range keys[:400] {
+		ok, err := d.Contains(k)
+		if err != nil || !ok {
+			t.Fatalf("missing initial key %d (err %v)", k, err)
+		}
+	}
+	for _, k := range keys[400:] {
+		if changed, err := d.Insert(k); err != nil || !changed {
+			t.Fatalf("Insert(%d): changed=%v err=%v", k, changed, err)
+		}
+	}
+	for _, k := range keys[:200] {
+		if changed, err := d.Delete(k); err != nil || !changed {
+			t.Fatalf("Delete(%d): changed=%v err=%v", k, changed, err)
+		}
+	}
+	if d.Len() != 300 { // 400 initial + 100 inserted − 200 deleted
+		t.Errorf("Len = %d after churn, want 300", d.Len())
+	}
+	for _, k := range keys[:200] {
+		if ok, _ := d.Contains(k); ok {
+			t.Fatalf("deleted key %d still present", k)
+		}
+	}
+	if d.Rebuilds() < 1 {
+		t.Errorf("Rebuilds = %d", d.Rebuilds())
+	}
+}
+
+func TestDynamicDictOptionValidation(t *testing.T) {
+	if _, err := NewDynamic(nil, 0, WithSpace(1)); err == nil {
+		t.Error("bad option accepted")
+	}
+	if _, err := NewDynamic(nil, 3); err == nil {
+		t.Error("bufferFrac > 1 accepted")
+	}
+}
+
+func TestDynamicDictConcurrent(t *testing.T) {
+	keys := testKeys(2000, 22)
+	d, err := NewDynamic(keys[:1000], 0.25, WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	// Readers on the stable half, writers churning the volatile half.
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g))
+			for i := 0; i < 2000; i++ {
+				k := keys[r.Intn(500)] // never touched by writers
+				ok, err := d.Contains(k)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !ok {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(100 + g))
+			for i := 0; i < 500; i++ {
+				k := keys[1000+r.Intn(1000)]
+				var err error
+				if r.Intn(2) == 0 {
+					_, err = d.Insert(k)
+				} else {
+					_, err = d.Delete(k)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("concurrent dynamic op failed: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+package lcds_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	lcds "repro"
+)
+
+// Example builds a dictionary and answers membership queries.
+func Example() {
+	d, err := lcds.New([]uint64{3, 14, 159, 2653})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Contains(14), d.Contains(15))
+	// Output: true false
+}
+
+// ExampleNew_options shows the construction knobs: more space (β) buys a
+// lower contention constant; the seed makes everything reproducible.
+func ExampleNew_options() {
+	keys := []uint64{10, 20, 30, 40, 50}
+	d, err := lcds.New(keys,
+		lcds.WithSeed(7),
+		lcds.WithSpace(8),        // s = 8n buckets
+		lcds.WithIndependence(4), // d-wise independent hashing
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Len(), d.Contains(30))
+	// Output: 5 true
+}
+
+// ExampleDict_ContentionSummary inspects the Theorem 3 guarantee: the
+// hottest cell's probe probability as a multiple of the optimal 1/s.
+func ExampleDict_ContentionSummary() {
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	d, err := lcds.New(keys, lcds.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := d.ContentionSummary(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.RatioStep < 64, c.Probes <= float64(d.MaxProbes()))
+	// Output: true true
+}
+
+// ExampleDict_WriteTo round-trips a dictionary through its compact
+// serialization.
+func ExampleDict_WriteTo() {
+	d, err := lcds.New([]uint64{1, 2, 3}, lcds.WithSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := lcds.Read(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(loaded.Contains(2), loaded.Contains(4))
+	// Output: true false
+}
+
+// ExampleNewFromStrings answers membership over strings via 61-bit
+// fingerprints.
+func ExampleNewFromStrings() {
+	d, err := lcds.NewFromStrings([]string{"alice", "bob", "carol"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Contains("bob"), d.Contains("mallory"))
+	// Output: true false
+}
+
+// ExampleNewDynamic mutates a dictionary; rebuilds happen automatically.
+func ExampleNewDynamic() {
+	d, err := lcds.NewDynamic([]uint64{1, 2, 3}, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.Insert(4); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.Delete(1); err != nil {
+		log.Fatal(err)
+	}
+	in4, _ := d.Contains(4)
+	in1, _ := d.Contains(1)
+	fmt.Println(d.Len(), in4, in1)
+	// Output: 3 true false
+}

@@ -1,0 +1,72 @@
+// Adversarial: what happens outside Theorem 3's uniform-query assumption,
+// and what §3 says about it.
+//
+// A skewed (Zipf) or adversarial (point-mass) query distribution
+// concentrates probe mass on the deterministic final probes of every
+// structure — including the low-contention dictionary. The paper's lower
+// bound (Theorem 13) shows this is fundamental: a query algorithm that does
+// not know the distribution cannot keep contention within polylog of optimal
+// without Ω(log log n) probes.
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/contention"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/lowerbound"
+)
+
+func main() {
+	const n = 4096
+	const seed = 13
+
+	keys := experiments.Keys(n, seed)
+	structures, err := experiments.ComparisonSet(keys, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	distributions := []dist.Supporter{
+		dist.NewUniformSet(keys, "uniform"),
+		dist.NewZipf(keys, 0.8),
+		dist.NewZipf(keys, 1.2),
+		dist.PointMass{Key: keys[0]},
+	}
+
+	fmt.Printf("contention ratio to optimal (n = %d): skew breaks every structure\n\n", n)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "structure\tuniform\tzipf(0.8)\tzipf(1.2)\tpoint-mass")
+	for _, st := range structures {
+		row := st.Name()
+		for _, q := range distributions {
+			res, err := contention.Exact(st, q.Support())
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("\t%.0f", res.RatioStep())
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+
+	fmt.Println("\nTheorem 13: to get contention within polylog(n) of optimal for EVERY")
+	fmt.Println("distribution, a balanced scheme needs at least this many probes:")
+	fmt.Println()
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tlg lg n\tminimal t*")
+	for _, e := range []int{16, 32, 64, 128, 256} {
+		nf := math.Pow(2, float64(e))
+		lg := float64(e)
+		fmt.Fprintf(tw, "2^%d\t%.1f\t%d\n", e, math.Log2(lg), lowerbound.MinTStar(nf, lg*lg, lg*lg))
+	}
+	tw.Flush()
+	fmt.Println("\nthe Ω(log log n) growth is the paper's time-contention trade-off.")
+}

@@ -1,0 +1,62 @@
+// Hotspot: the paper's motivating scenario. Many processors query a shared
+// read-only index simultaneously; structures with hot cells (binary search's
+// root, FKS's bucket headers) serialize on them, while the low-contention
+// dictionary spreads its probes and scales.
+//
+// The example runs the single-port-per-cell memory simulation (the hot-spot
+// cost model of Dwork–Herlihy–Waarts) for a sweep of processor counts.
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/rng"
+)
+
+func main() {
+	const n = 4096
+	const seed = 2010
+
+	keys := experiments.Keys(n, seed)
+	structures, err := experiments.ComparisonSet(keys, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := dist.NewUniformSet(keys, "")
+
+	fmt.Printf("%d processors each issue one membership query (n = %d keys).\n", 256, n)
+	fmt.Println("slowdown = cycles to drain all queries / cycles for one query alone")
+	fmt.Println()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "processors"
+	for _, st := range structures {
+		header += "\t" + st.Name()
+	}
+	fmt.Fprintln(tw, header)
+	for _, procs := range []int{1, 4, 16, 64, 256} {
+		row := fmt.Sprintf("%d", procs)
+		for _, st := range structures {
+			seqs, err := memsim.Sequences(st, queries, procs, rng.New(seed+uint64(procs)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := memsim.Run(seqs, memsim.Config{})
+			row += fmt.Sprintf("\t%.2f", res.Slowdown())
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+
+	fmt.Println("\nbinary search serializes on its root; the header-indexed hash tables")
+	fmt.Println("serialize on their hottest bucket header; the low-contention dictionary")
+	fmt.Println("stays near 1.0 because every step probes a uniformly random replica.")
+}

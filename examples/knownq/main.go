@@ -1,0 +1,62 @@
+// Knownq: when the builder knows the query distribution.
+//
+// The §3 lower bound says a distribution-oblivious query algorithm cannot
+// keep contention near-optimal for every distribution — but the paper's
+// model (§1.1) lets the CONSTRUCTION know q. This example builds the
+// skew-aware dictionary for a Zipf workload and compares its exact
+// contention against the oblivious Theorem 3 structure.
+//
+//	go run ./examples/knownq
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/skew"
+)
+
+func main() {
+	const n = 4096
+	const seed = 42
+	keys := experiments.Keys(n, seed)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "zipf exp\toblivious lcds\tknown-q (R=8)\timprovement\textra space")
+	for _, exp := range []float64{0.8, 1.0, 1.2} {
+		q := dist.NewZipf(keys, exp)
+		support := q.Support()
+
+		plain, err := core.Build(keys, core.Params{}, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex, err := contention.Exact(plain, support)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		aware, err := skew.Build(support, skew.Params{Replicas: 8}, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := aware.Analyze(support)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%.1f\t%.0f\t%.0f\t%.1f×\t%.0f%%\n",
+			exp, ex.RatioStep(), a.RatioStep(), ex.RatioStep()/a.RatioStep(),
+			100*(float64(aware.Cells())/float64(plain.Table().Size())-1))
+	}
+	tw.Flush()
+
+	fmt.Println("\nthe hot keys' deterministic data probes are spread across 8 whole copies;")
+	fmt.Println("the query algorithm stays oblivious — only the table encodes the distribution.")
+	fmt.Println("improvement is bounded by R: the lower bound's price, paid in space.")
+}

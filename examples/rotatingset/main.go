@@ -1,0 +1,69 @@
+// Rotatingset: the dynamic extension in a realistic shape — a sliding
+// blocklist. A stream of identifiers is admitted and expired continuously;
+// the dictionary absorbs updates in its buffer and periodically rebuilds the
+// static low-contention structure (the paper's §4 future-work direction).
+//
+//	go run ./examples/rotatingset
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lcds "repro"
+)
+
+func main() {
+	const window = 20000 // identifiers kept blocked at any time
+	const churn = 60000  // total admissions beyond the initial window
+
+	// Initial window: ids 0..window-1 (any distinct uint64 < lcds.MaxKey).
+	initial := make([]uint64, window)
+	for i := range initial {
+		initial[i] = uint64(i)
+	}
+	d, err := lcds.NewDynamic(initial, 0.25, lcds.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Slide the window: admit id, expire id-window.
+	for id := uint64(window); id < window+churn; id++ {
+		if _, err := d.Insert(id); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := d.Delete(id - window); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("processed %d updates over a window of %d keys\n", 2*churn, window)
+	fmt.Printf("current size: %d (want %d)\n", d.Len(), window)
+	fmt.Printf("global rebuilds: %d (amortized O(1/ε) work per update)\n", d.Rebuilds())
+
+	// Spot-check the window boundaries.
+	for _, probe := range []struct {
+		id   uint64
+		want bool
+	}{
+		{churn - 1, false},            // expired long ago
+		{churn, true},                 // oldest still blocked
+		{churn + window - 1, true},    // newest
+		{churn + window + 100, false}, // never admitted
+	} {
+		got, err := d.Contains(probe.id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "blocked"
+		if !got {
+			status = "admitted"
+		}
+		fmt.Printf("  id %-6d -> %s\n", probe.id, status)
+		if got != probe.want {
+			log.Fatalf("id %d: got %v, want %v", probe.id, got, probe.want)
+		}
+	}
+	fmt.Println("\nreads keep the static low-contention guarantee between rebuilds;")
+	fmt.Println("run ./cmd/lcds-bench -exp X1 to measure the update-side contention.")
+}

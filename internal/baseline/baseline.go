@@ -1,0 +1,64 @@
+// Package baseline implements the comparison dictionaries of the paper's
+// §1 and §1.3 on the same cell-probe substrate as the low-contention
+// dictionary, so that contention is measured identically for all of them:
+//
+//   - FKS two-level perfect hashing [8], plain and with the hash parameters
+//     stored redundantly ("replicated", §1.3): contention Θ(√n)× optimal in
+//     the worst case even when replicated, because the header cell of the
+//     largest bucket concentrates Θ(ℓ_max/n) probe mass.
+//   - The DM dictionary [4]: groups of expected Θ(log n) keys under the
+//     R^d_{r,m} family, FKS inside each group; with replicated parameters
+//     the group header contention is Θ(log n / n) — Θ(log n)× optimal.
+//   - Cuckoo hashing [12]: every query deterministically probes cell h₁(x)
+//     (and h₂(x) on a miss), so cell contention equals bucket load / n —
+//     Θ(ln n / ln ln n)× optimal under uniform positive queries.
+//   - Sorted-array binary search: the root cell is probed by every query —
+//     contention 1, the motivating worst case of §1.
+//   - Linear probing: clustering concentrates probe mass on runs.
+//
+// Every structure exposes the same surface as core.Dict — Contains (probing
+// through the recorded table), ProbeSpec (exact per-step distributions),
+// Table, N, MaxProbes, Name — so the contention analyzer and the experiment
+// harness treat them interchangeably.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+const (
+	sentinelLo  = ^uint64(0)
+	occupiedTag = uint64(1)
+)
+
+// validateKeys rejects duplicates and out-of-universe keys, mirroring core.
+func validateKeys(keys []uint64) error {
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if k >= hash.MaxKey {
+			return fmt.Errorf("baseline: key %d outside universe [0, %d)", k, hash.MaxKey)
+		}
+		if seen[k] {
+			return fmt.Errorf("baseline: duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// drawPerfectFamily retries a pairwise top-level hash into nb buckets until
+// the FKS space condition Σℓ² ≤ budget holds. It returns the hash, the
+// bucket loads, and the number of draws.
+func drawPerfectFamily(r *rng.RNG, keys []uint64, nb int, budget int, maxTries int) (hash.Pairwise, []int, int, error) {
+	for try := 1; try <= maxTries; try++ {
+		top := hash.NewPairwise(r, uint64(nb))
+		loads := hash.Loads(keys, top.Eval, nb)
+		if hash.SumSquares(loads) <= budget {
+			return top, loads, try, nil
+		}
+	}
+	return hash.Pairwise{}, nil, maxTries, fmt.Errorf("baseline: no top-level hash met Σℓ² ≤ %d after %d tries", budget, maxTries)
+}

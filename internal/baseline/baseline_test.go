@@ -1,0 +1,457 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellprobe"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// structure is the common surface of every dictionary in this repository.
+type structure interface {
+	Name() string
+	N() int
+	Table() *cellprobe.Table
+	MaxProbes() int
+	Contains(x uint64, r *rng.RNG) (bool, error)
+	ProbeSpec(x uint64) cellprobe.ProbeSpec
+}
+
+func distinctKeys(r *rng.RNG, n int) []uint64 {
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := r.Uint64n(hash.MaxKey)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// builders constructs every baseline over the same key set.
+func builders(t testing.TB, keys []uint64, seed uint64) []structure {
+	t.Helper()
+	var out []structure
+	fks, err := BuildFKS(keys, false, seed)
+	if err != nil {
+		t.Fatalf("fks: %v", err)
+	}
+	fksRep, err := BuildFKS(keys, true, seed)
+	if err != nil {
+		t.Fatalf("fks+rep: %v", err)
+	}
+	dm, err := BuildDM(keys, seed)
+	if err != nil {
+		t.Fatalf("dm: %v", err)
+	}
+	ck, err := BuildCuckoo(keys, false, seed)
+	if err != nil {
+		t.Fatalf("cuckoo: %v", err)
+	}
+	ckRep, err := BuildCuckoo(keys, true, seed)
+	if err != nil {
+		t.Fatalf("cuckoo+rep: %v", err)
+	}
+	bs, err := BuildBinarySearch(keys, seed)
+	if err != nil {
+		t.Fatalf("bsearch: %v", err)
+	}
+	lp, err := BuildLinearProbing(keys, false, seed)
+	if err != nil {
+		t.Fatalf("linear: %v", err)
+	}
+	lpRep, err := BuildLinearProbing(keys, true, seed)
+	if err != nil {
+		t.Fatalf("linear+rep: %v", err)
+	}
+	ch, err := BuildChained(keys, false, seed)
+	if err != nil {
+		t.Fatalf("chained: %v", err)
+	}
+	chRep, err := BuildChained(keys, true, seed)
+	if err != nil {
+		t.Fatalf("chained+rep: %v", err)
+	}
+	rbs, err := BuildReplicatedBinarySearch(keys, 8, seed)
+	if err != nil {
+		t.Fatalf("bsearch+rep: %v", err)
+	}
+	out = append(out, fks, fksRep, dm, ck, ckRep, bs, lp, lpRep, ch, chRep, rbs)
+	return out
+}
+
+// TestReplicatedBinarySearchRatioUnchanged is the strawman's lesson: k-fold
+// whole-structure replication divides the absolute contention by k but
+// multiplies space by k, leaving the ratio to optimal at Θ(n).
+func TestReplicatedBinarySearchRatioUnchanged(t *testing.T) {
+	r := rng.New(50)
+	keys := distinctKeys(r, 1023)
+	plain, err := BuildBinarySearch(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildReplicatedBinarySearch(keys, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Copies() != 16 {
+		t.Fatalf("Copies = %d", rep.Copies())
+	}
+	// Exact root contention: plain 1, replicated 1/16 — but cells scale by 16.
+	rootPlain := plain.ProbeSpec(keys[0]).MaxCellProb()[0]
+	rootRep := rep.ProbeSpec(keys[0]).MaxCellProb()[0]
+	if rootPlain != 1 {
+		t.Errorf("plain root prob %v", rootPlain)
+	}
+	if diff := rootRep - 1.0/16; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("replicated root prob %v, want 1/16", rootRep)
+	}
+	ratioPlain := rootPlain * float64(plain.Table().Size())
+	ratioRep := rootRep * float64(rep.Table().Size())
+	if ratioPlain != ratioRep {
+		t.Errorf("ratios differ: plain %v vs replicated %v — replication should not change the ratio", ratioPlain, ratioRep)
+	}
+}
+
+// TestChainedHeadContentionMatchesLoad: the head cell of bucket b carries
+// exactly ℓ_b/n probe mass under uniform positive queries.
+func TestChainedHeadContentionMatchesLoad(t *testing.T) {
+	r := rng.New(40)
+	keys := distinctKeys(r, 400)
+	ch, err := BuildChained(keys, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, k := range keys {
+		spec := ch.ProbeSpec(k)
+		head := spec[1]
+		if len(head) != 1 || head[0].Count != 1 {
+			t.Fatalf("head probe not a point: %+v", head)
+		}
+		counts[head[0].Start]++
+	}
+	for cell, c := range counts {
+		b := cell - ch.Table().Index(chHeadRow, 0)
+		if ch.loads[b] != c {
+			t.Errorf("bucket %d: %d queries but load %d", b, c, ch.loads[b])
+		}
+	}
+}
+
+// TestChainedWalkLength: the probe sequence for a stored key equals
+// 2 + its position in the chain; absent keys walk the full chain.
+func TestChainedWalkLength(t *testing.T) {
+	r := rng.New(41)
+	keys := distinctKeys(r, 300)
+	ch, err := BuildChained(keys, false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := rng.New(9)
+	for i := 0; i < 2000; i++ {
+		x := qr.Uint64n(hash.MaxKey)
+		spec := ch.ProbeSpec(x)
+		if len(spec) > ch.MaxProbes() {
+			t.Fatalf("spec length %d exceeds MaxProbes %d", len(spec), ch.MaxProbes())
+		}
+	}
+}
+
+func TestMembershipAllStructures(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{0, 1, 2, 5, 33, 256, 1500} {
+		keys := distinctKeys(r, n)
+		inSet := make(map[uint64]bool, n)
+		for _, k := range keys {
+			inSet[k] = true
+		}
+		for _, d := range builders(t, keys, uint64(n)+11) {
+			qr := rng.New(uint64(n) + 17)
+			if d.N() != n {
+				t.Errorf("%s: N = %d, want %d", d.Name(), d.N(), n)
+			}
+			for _, k := range keys {
+				ok, err := d.Contains(k, qr)
+				if err != nil {
+					t.Fatalf("%s n=%d: Contains(%d): %v", d.Name(), n, k, err)
+				}
+				if !ok {
+					t.Fatalf("%s n=%d: lost key %d", d.Name(), n, k)
+				}
+			}
+			for i := 0; i < 1000; i++ {
+				x := qr.Uint64n(hash.MaxKey)
+				if inSet[x] {
+					continue
+				}
+				ok, err := d.Contains(x, qr)
+				if err != nil {
+					t.Fatalf("%s n=%d: Contains(%d): %v", d.Name(), n, x, err)
+				}
+				if ok {
+					t.Fatalf("%s n=%d: phantom key %d", d.Name(), n, x)
+				}
+			}
+		}
+	}
+}
+
+func TestProbeSpecsValid(t *testing.T) {
+	r := rng.New(2)
+	keys := distinctKeys(r, 400)
+	for _, d := range builders(t, keys, 3) {
+		qr := rng.New(5)
+		for i := 0; i < 40; i++ {
+			var x uint64
+			if i%2 == 0 {
+				x = keys[qr.Intn(len(keys))]
+			} else {
+				x = qr.Uint64n(hash.MaxKey)
+			}
+			spec := d.ProbeSpec(x)
+			if err := spec.Validate(d.Table().Size()); err != nil {
+				t.Errorf("%s: invalid spec for %d: %v", d.Name(), x, err)
+			}
+		}
+	}
+}
+
+// TestProbeSpecMatchesEmpirical verifies, for each structure, that recorded
+// Monte-Carlo probes land inside the exact spec's spans with matching
+// per-step mass.
+func TestProbeSpecMatchesEmpirical(t *testing.T) {
+	r := rng.New(6)
+	keys := distinctKeys(r, 150)
+	for _, d := range builders(t, keys, 7) {
+		tab := d.Table()
+		qr := rng.New(8)
+		for _, x := range []uint64{keys[0], keys[149], 987654321} {
+			spec := d.ProbeSpec(x)
+			rec := cellprobe.NewRecorder(tab.Size())
+			tab.Attach(rec)
+			const trials = 1500
+			for i := 0; i < trials; i++ {
+				if _, err := d.Contains(x, qr); err != nil {
+					t.Fatalf("%s: %v", d.Name(), err)
+				}
+				rec.EndQuery()
+			}
+			tab.Detach()
+			for step, ss := range spec {
+				want := ss.Mass()
+				got := rec.StepMass(step)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s x=%d step %d: empirical mass %v, spec %v", d.Name(), x, step, got, want)
+				}
+			}
+			for step := 0; step < rec.Steps(); step++ {
+				if rec.PerStep[step] == nil {
+					continue
+				}
+				for cell, cnt := range rec.PerStep[step] {
+					if cnt == 0 {
+						continue
+					}
+					if step >= len(spec) {
+						t.Fatalf("%s x=%d: probe at step %d beyond spec", d.Name(), x, step)
+					}
+					inside := false
+					for _, sp := range spec[step] {
+						if cell >= sp.Start && cell < sp.Start+sp.Count {
+							inside = true
+							break
+						}
+					}
+					if !inside {
+						t.Fatalf("%s x=%d step %d: probe to %d outside spec", d.Name(), x, step, cell)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlainVariantsHaveHotParamCell is the §1 observation: without
+// replication, the parameter cell is probed by every query (contention 1).
+func TestPlainVariantsHaveHotParamCell(t *testing.T) {
+	r := rng.New(9)
+	keys := distinctKeys(r, 300)
+	fks, _ := BuildFKS(keys, false, 1)
+	ck, _ := BuildCuckoo(keys, false, 1)
+	lp, _ := BuildLinearProbing(keys, false, 1)
+	for _, d := range []structure{fks, ck, lp} {
+		spec := d.ProbeSpec(keys[0])
+		first := spec[0]
+		if len(first) != 1 || first[0].Count != 1 || first[0].Mass != 1 {
+			t.Errorf("%s: plain param probe not a deterministic point: %+v", d.Name(), first)
+		}
+	}
+}
+
+// TestReplicatedVariantsSpreadParamProbes verifies replication flattens the
+// parameter-cell contention to 1/width.
+func TestReplicatedVariantsSpreadParamProbes(t *testing.T) {
+	r := rng.New(10)
+	keys := distinctKeys(r, 300)
+	fks, _ := BuildFKS(keys, true, 1)
+	ck, _ := BuildCuckoo(keys, true, 1)
+	for _, d := range []structure{fks, ck} {
+		spec := d.ProbeSpec(keys[0])
+		first := spec[0]
+		if len(first) != 1 || first[0].Count != d.Table().Width() {
+			t.Errorf("%s: replicated param probe not row-wide: %+v", d.Name(), first)
+		}
+	}
+}
+
+// TestBinarySearchRootContention: the middle cell is probed first by every
+// query — the motivating hot spot.
+func TestBinarySearchRootContention(t *testing.T) {
+	r := rng.New(11)
+	keys := distinctKeys(r, 1023)
+	bs, err := BuildBinarySearch(keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := bs.Table().Index(0, 511)
+	for i := 0; i < 20; i++ {
+		spec := bs.ProbeSpec(keys[r.Intn(len(keys))])
+		if len(spec[0]) != 1 || spec[0][0].Start != root {
+			t.Fatalf("first probe not at root: %+v", spec[0])
+		}
+	}
+}
+
+func TestBinarySearchProbeCountLogarithmic(t *testing.T) {
+	r := rng.New(12)
+	keys := distinctKeys(r, 4096)
+	bs, err := BuildBinarySearch(keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bs.MaxProbes(); got != 13 {
+		t.Errorf("MaxProbes = %d, want 13 for n=4096", got)
+	}
+	qr := rng.New(13)
+	for i := 0; i < 100; i++ {
+		spec := bs.ProbeSpec(qr.Uint64n(hash.MaxKey))
+		steps := 0
+		for _, ss := range spec {
+			if len(ss) > 0 {
+				steps++
+			}
+		}
+		if steps > bs.MaxProbes() {
+			t.Fatalf("probe sequence %d exceeds MaxProbes %d", steps, bs.MaxProbes())
+		}
+	}
+}
+
+// TestCuckooSecondProbeConditional: keys stored in T1 never probe T2.
+func TestCuckooSecondProbeConditional(t *testing.T) {
+	r := rng.New(14)
+	keys := distinctKeys(r, 500)
+	ck, err := BuildCuckoo(keys, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawT1Only, sawBoth := false, false
+	for _, k := range keys {
+		spec := ck.ProbeSpec(k)
+		last := spec[len(spec)-1]
+		if len(last) == 0 {
+			sawT1Only = true
+		} else {
+			sawBoth = true
+		}
+	}
+	if !sawT1Only || !sawBoth {
+		t.Errorf("expected keys in both tables: T1-only=%v both=%v", sawT1Only, sawBoth)
+	}
+}
+
+func TestLinearProbingMaxProbesCoversAbsentScans(t *testing.T) {
+	r := rng.New(15)
+	keys := distinctKeys(r, 700)
+	lp, err := BuildLinearProbing(keys, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := rng.New(16)
+	for i := 0; i < 3000; i++ {
+		x := qr.Uint64n(hash.MaxKey)
+		spec := lp.ProbeSpec(x)
+		if len(spec) > lp.MaxProbes() {
+			t.Fatalf("spec length %d exceeds MaxProbes %d", len(spec), lp.MaxProbes())
+		}
+	}
+}
+
+func TestValidateKeysRejects(t *testing.T) {
+	if err := validateKeys([]uint64{1, 1}); err == nil {
+		t.Error("duplicates accepted")
+	}
+	if err := validateKeys([]uint64{hash.MaxKey}); err == nil {
+		t.Error("out-of-universe key accepted")
+	}
+	if err := validateKeys([]uint64{1, 2, 3}); err != nil {
+		t.Errorf("valid keys rejected: %v", err)
+	}
+}
+
+func TestFKSTopTriesReported(t *testing.T) {
+	keys := distinctKeys(rng.New(17), 200)
+	fks, err := BuildFKS(keys, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fks.TopTries() < 1 || fks.TopTries() > 50 {
+		t.Errorf("TopTries = %d", fks.TopTries())
+	}
+}
+
+func TestStructureNamesDistinct(t *testing.T) {
+	keys := distinctKeys(rng.New(18), 50)
+	seen := map[string]bool{}
+	for _, d := range builders(t, keys, 5) {
+		if seen[d.Name()] {
+			t.Errorf("duplicate name %s", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+}
+
+func BenchmarkFKSContains(b *testing.B) {
+	keys := distinctKeys(rng.New(1), 4096)
+	d, err := BuildFKS(keys, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qr := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Contains(keys[i%len(keys)], qr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCuckooContains(b *testing.B) {
+	keys := distinctKeys(rng.New(1), 4096)
+	d, err := BuildCuckoo(keys, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qr := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Contains(keys[i%len(keys)], qr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

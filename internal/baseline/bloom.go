@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/cellprobe"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// Bloom is a Bloom filter on the cell-probe substrate — the approximate
+// filter a practitioner would deploy in the paper's motivating scenario.
+// It is included for its contention profile, not its exactness: a query
+// probes k pseudo-random bit-cells. Each bit cell is shared by the members
+// hashing to it, so under uniform positive queries its contention ratio is
+// Θ(k · bitsPerKey · maxMultiplicity) — bounded, but a distinctly larger
+// constant than the exact low-contention dictionary's, growing like
+// ln n/ln ln n, and bought with one-sided errors.
+//
+// Layout: rows 0..k-1 hold one hash function's coefficients each (column 0,
+// or replicated); row k is the bit array, one bit per cell (a deliberately
+// wasteful encoding that keeps one probe per lookup bit and mirrors the
+// other structures' accounting).
+type Bloom struct {
+	n          int
+	w          int // bit cells
+	k          int // hash functions
+	replicated bool
+	tab        *cellprobe.Table
+	hs         []hash.Pairwise
+}
+
+// BuildBloom constructs a filter with bitsPerKey·n cells and the standard
+// optimal k = bitsPerKey·ln 2 hash functions.
+func BuildBloom(keys []uint64, bitsPerKey int, replicated bool, seed uint64) (*Bloom, error) {
+	if err := validateKeys(keys); err != nil {
+		return nil, err
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 10
+	}
+	n := len(keys)
+	w := bitsPerKey * n
+	if w < 8 {
+		w = 8
+	}
+	k := int(math.Round(float64(bitsPerKey) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	r := rng.New(seed)
+	d := &Bloom{n: n, w: w, k: k, replicated: replicated}
+	tab := cellprobe.New(k+1, w)
+	d.tab = tab
+	for i := 0; i < k; i++ {
+		h := hash.NewPairwise(r, uint64(w))
+		d.hs = append(d.hs, h)
+		c := cellprobe.Cell{Lo: h.A, Hi: h.B}
+		if replicated {
+			tab.SetBlockRow(i, []cellprobe.Cell{c}, w)
+		} else {
+			tab.Set(i, 0, c)
+		}
+	}
+	for _, x := range keys {
+		for _, h := range d.hs {
+			tab.Set(k, int(h.Eval(x)), cellprobe.Cell{Lo: 1})
+		}
+	}
+	return d, nil
+}
+
+// Name identifies the structure in experiment reports.
+func (d *Bloom) Name() string {
+	if d.replicated {
+		return "bloom+rep"
+	}
+	return "bloom"
+}
+
+// N returns the number of stored keys.
+func (d *Bloom) N() int { return d.n }
+
+// Table exposes the cell-probe table.
+func (d *Bloom) Table() *cellprobe.Table { return d.tab }
+
+// MaxProbes returns k parameter probes plus up to k bit probes.
+func (d *Bloom) MaxProbes() int { return 2 * d.k }
+
+// K returns the number of hash functions.
+func (d *Bloom) K() int { return d.k }
+
+// Contains reports (approximate) membership: false is always correct; true
+// is wrong with the filter's false-positive probability ≈ 2^−k.
+func (d *Bloom) Contains(x uint64, r *rng.RNG) (bool, error) {
+	col := func() int {
+		if d.replicated {
+			return r.Intn(d.w)
+		}
+		return 0
+	}
+	for i := 0; i < d.k; i++ {
+		pc := d.tab.Probe(i, i, col())
+		h := hash.Pairwise{A: pc.Lo, B: pc.Hi, M: uint64(d.w)}
+		bit := d.tab.Probe(d.k+i, d.k, int(h.Eval(x)))
+		if bit.Lo == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ProbeSpec returns the exact probe distribution. Iteration i probes hash
+// i's parameters (step i) and its bit (step k+i); both happen only if every
+// earlier bit was set, so their mass is 0 after the first zero bit.
+func (d *Bloom) ProbeSpec(x uint64) cellprobe.ProbeSpec {
+	params := make(cellprobe.ProbeSpec, d.k)
+	bits := make(cellprobe.ProbeSpec, d.k)
+	alive := 1.0
+	for i := 0; i < d.k; i++ {
+		if d.replicated {
+			params[i] = cellprobe.UniformSpan(d.tab.Index(i, 0), d.w, alive)
+		} else {
+			params[i] = cellprobe.PointSpan(d.tab.Index(i, 0), alive)
+		}
+		pos := int(d.hs[i].Eval(x))
+		bits[i] = cellprobe.PointSpan(d.tab.Index(d.k, pos), alive)
+		if d.tab.At(d.k, pos).Lo == 0 {
+			alive = 0
+		}
+	}
+	return append(params, bits...)
+}

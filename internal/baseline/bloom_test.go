@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellprobe"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	r := rng.New(70)
+	keys := distinctKeys(r, 1000)
+	d, err := BuildBloom(keys, 10, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := rng.New(2)
+	for _, k := range keys {
+		ok, err := d.Contains(k, qr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	r := rng.New(71)
+	keys := distinctKeys(r, 2000)
+	d, err := BuildBloom(keys, 10, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := map[uint64]bool{}
+	for _, k := range keys {
+		inSet[k] = true
+	}
+	qr := rng.New(3)
+	fp := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		x := qr.Uint64n(hash.MaxKey)
+		if inSet[x] {
+			continue
+		}
+		ok, err := d.Contains(x, qr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			fp++
+		}
+	}
+	// 10 bits/key, k = 7: theoretical FP ≈ (1−e^{−k/10})^k ≈ 0.8%.
+	if rate := float64(fp) / trials; rate > 0.03 {
+		t.Errorf("false-positive rate %v too high", rate)
+	}
+}
+
+func TestBloomSpecMatchesEmpirical(t *testing.T) {
+	r := rng.New(72)
+	keys := distinctKeys(r, 300)
+	d, err := BuildBloom(keys, 10, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := d.Table()
+	qr := rng.New(4)
+	for _, x := range []uint64{keys[0], 987654321987} {
+		spec := d.ProbeSpec(x)
+		if err := spec.Validate(tab.Size()); err != nil {
+			t.Fatalf("spec: %v", err)
+		}
+		rec := cellprobe.NewRecorder(tab.Size())
+		tab.Attach(rec)
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			if _, err := d.Contains(x, qr); err != nil {
+				t.Fatal(err)
+			}
+			rec.EndQuery()
+		}
+		tab.Detach()
+		for step, ss := range spec {
+			if got, want := rec.StepMass(step), ss.Mass(); math.Abs(got-want) > 1e-9 {
+				t.Errorf("x=%d step %d: empirical %v vs spec %v", x, step, got, want)
+			}
+		}
+	}
+}
+
+// TestBloomContentionBounded: the filter's bit probes are spread by
+// hashing but carry balls-in-bins multiplicity — several members share a
+// bit cell, and every one of their queries probes it. The ratio is
+// Θ(k · bitsPerKey · maxMultiplicity) ≈ 240 here: bounded and flat-ish,
+// but a markedly larger constant than the exact dictionary's ≈ 52, and
+// growing with ln n/ln ln n. Theorem 3's structure beats the practical
+// approximate filter on contention while also being exact.
+func TestBloomContentionBounded(t *testing.T) {
+	r := rng.New(73)
+	keys := distinctKeys(r, 2048)
+	d, err := BuildBloom(keys, 10, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact analysis over uniform positive support.
+	cells := d.Table().Size()
+	maxPhi := 0.0
+	qx := 1.0 / float64(len(keys))
+	phi := make([]float64, cells)
+	steps := d.MaxProbes()
+	for step := 0; step < steps; step++ {
+		for i := range phi {
+			phi[i] = 0
+		}
+		for _, x := range keys {
+			spec := d.ProbeSpec(x)
+			if step >= len(spec) {
+				continue
+			}
+			for _, sp := range spec[step] {
+				pc := sp.PerCell() * qx
+				for j := sp.Start; j < sp.Start+sp.Count; j++ {
+					phi[j] += pc
+				}
+			}
+		}
+		for _, v := range phi {
+			if v > maxPhi {
+				maxPhi = v
+			}
+		}
+	}
+	ratio := maxPhi * float64(cells)
+	if ratio > 512 {
+		t.Errorf("bloom contention ratio %v outside the expected band", ratio)
+	}
+	if ratio < 64 {
+		t.Errorf("bloom ratio %v suspiciously low — multiplicity accounting broken?", ratio)
+	}
+	t.Logf("bloom ratio %.1f (k = %d)", ratio, d.K())
+}
+
+func TestBloomPlainParamHotspot(t *testing.T) {
+	r := rng.New(74)
+	keys := distinctKeys(r, 100)
+	d, err := BuildBloom(keys, 10, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := d.ProbeSpec(keys[0])
+	if len(spec[0]) != 1 || spec[0][0].Count != 1 {
+		t.Errorf("plain bloom param probe not a point: %+v", spec[0])
+	}
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/cellprobe"
+	"repro/internal/rng"
+)
+
+// BinarySearch is the sorted-array dictionary from the paper's introduction:
+// "the entry in the middle of the table is accessed on every query". It is
+// the maximally contended baseline — the root cell has contention 1, a
+// factor s from optimal — and needs Θ(log n) probes.
+type BinarySearch struct {
+	n    int
+	keys []uint64 // sorted
+	tab  *cellprobe.Table
+}
+
+// BuildBinarySearch constructs the sorted-array dictionary.
+func BuildBinarySearch(keys []uint64, _ uint64) (*BinarySearch, error) {
+	if err := validateKeys(keys); err != nil {
+		return nil, err
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	w := len(sorted)
+	if w < 1 {
+		w = 1
+	}
+	d := &BinarySearch{n: len(sorted), keys: sorted, tab: cellprobe.New(1, w)}
+	for j := range sorted {
+		d.tab.Set(0, j, cellprobe.Cell{Lo: sorted[j], Hi: occupiedTag})
+	}
+	if len(sorted) == 0 {
+		d.tab.Set(0, 0, cellprobe.Cell{Lo: sentinelLo})
+	}
+	return d, nil
+}
+
+// Name identifies the structure in experiment reports.
+func (d *BinarySearch) Name() string { return "bsearch" }
+
+// N returns the number of stored keys.
+func (d *BinarySearch) N() int { return d.n }
+
+// Table exposes the cell-probe table.
+func (d *BinarySearch) Table() *cellprobe.Table { return d.tab }
+
+// MaxProbes returns the worst-case probe count ⌈log₂(n+1)⌉.
+func (d *BinarySearch) MaxProbes() int {
+	p := 0
+	for span := d.n; span > 0; span /= 2 {
+		p++
+	}
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// Contains answers membership for x by standard binary search over probes.
+func (d *BinarySearch) Contains(x uint64, _ *rng.RNG) (bool, error) {
+	lo, hi := 0, d.n-1
+	step := 0
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		c := d.tab.Probe(step, 0, mid)
+		step++
+		switch {
+		case c.Lo == x && c.Hi == occupiedTag:
+			return true, nil
+		case c.Lo < x:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return false, nil
+}
+
+// ProbeSpec returns the exact (deterministic) probe sequence for x: a point
+// mass per comparison, sub-stochastic after the search terminates.
+func (d *BinarySearch) ProbeSpec(x uint64) cellprobe.ProbeSpec {
+	spec := make(cellprobe.ProbeSpec, 0, d.MaxProbes())
+	lo, hi := 0, d.n-1
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		spec = append(spec, cellprobe.PointSpan(d.tab.Index(0, mid), 1))
+		v := d.keys[mid]
+		if v == x {
+			break
+		}
+		if v < x {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	for len(spec) < d.MaxProbes() {
+		spec = append(spec, cellprobe.StepSpec{})
+	}
+	return spec
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cellprobe"
+	"repro/internal/rng"
+)
+
+// Failure injection: corrupting structural cells must surface as errors or
+// wrong-but-bounded answers, never panics or unbounded scans.
+
+func TestFKSCorruptHeaderSurfacesError(t *testing.T) {
+	keys := distinctKeys(rng.New(60), 100)
+	d, err := BuildFKS(keys, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point every bucket header at an out-of-range span.
+	for b := 0; b < d.nb; b++ {
+		d.Table().Set(fksHeaderRow, b, cellprobe.Cell{Lo: uint64(d.w), Hi: 5})
+	}
+	qr := rng.New(2)
+	if _, err := d.Contains(keys[0], qr); err == nil {
+		t.Error("corrupt FKS header did not produce an error")
+	}
+}
+
+func TestDMCorruptZSurfacesError(t *testing.T) {
+	keys := distinctKeys(rng.New(61), 100)
+	d, err := BuildDM(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < d.w; j++ {
+		d.Table().Set(dmZRow, j, cellprobe.Cell{Lo: ^uint64(0)})
+	}
+	qr := rng.New(2)
+	if _, err := d.Contains(keys[0], qr); err == nil {
+		t.Error("corrupt DM z row did not produce an error")
+	}
+}
+
+func TestDMCorruptSubHeaderSurfacesError(t *testing.T) {
+	keys := distinctKeys(rng.New(62), 100)
+	d, err := BuildDM(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < d.w; j++ {
+		d.Table().Set(dmSubRow, j, cellprobe.Cell{Lo: uint64(d.w), Hi: 3})
+	}
+	qr := rng.New(3)
+	var sawErr bool
+	for _, k := range keys {
+		if _, err := d.Contains(k, qr); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("corrupt DM sub-headers never produced an error")
+	}
+}
+
+func TestLinearProbingCorruptParamsSurfacesError(t *testing.T) {
+	keys := distinctKeys(rng.New(63), 50)
+	d, err := BuildLinearProbing(keys, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Table().Set(lpParamRow, 0, cellprobe.Cell{Lo: 12345, Hi: 63}) // wrong k
+	qr := rng.New(4)
+	if _, err := d.Contains(keys[0], qr); err == nil {
+		t.Error("corrupt linear-probing parameters did not produce an error")
+	}
+}
+
+func TestLinearProbingFullScanTerminates(t *testing.T) {
+	keys := distinctKeys(rng.New(64), 50)
+	d, err := BuildLinearProbing(keys, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill every slot so an absent key's scan has no empty terminator.
+	for j := 0; j < d.w; j++ {
+		d.Table().Set(lpSlotRow, j, cellprobe.Cell{Lo: 1, Hi: occupiedTag})
+	}
+	qr := rng.New(5)
+	if _, err := d.Contains(2, qr); err == nil {
+		t.Error("full-table scan did not surface an error")
+	}
+}
+
+func TestChainedCorruptLinkSurfacesError(t *testing.T) {
+	keys := distinctKeys(rng.New(65), 80)
+	d, err := BuildChained(keys, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create a self-loop in the chain cells: walks must terminate with an
+	// error rather than spin forever.
+	for j := 0; j < d.w; j++ {
+		d.Table().Set(chDataRow, j, cellprobe.Cell{Lo: 1, Hi: uint64(j) + 1})
+	}
+	qr := rng.New(6)
+	if _, err := d.Contains(2, qr); err == nil {
+		t.Error("chained self-loop did not surface an error")
+	}
+}

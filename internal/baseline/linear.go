@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/cellprobe"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// LinearProbing is an open-addressing hash table at load factor ≤ 1/2 with
+// multiply-shift hashing. Probe sequences walk runs of occupied slots, so
+// query mass concentrates on cluster prefixes — a different contention
+// pathology than the index hot spots of FKS/cuckoo.
+//
+// Layout: row 0 holds the hash parameters (column 0, or replicated), row 1
+// the slots.
+type LinearProbing struct {
+	n          int
+	w          int // power-of-two slot count ≥ 2n
+	k          uint
+	replicated bool
+	tab        *cellprobe.Table
+	h          hash.MultShift
+	slots      []uint64
+	occ        []bool
+	maxChain   int
+}
+
+const (
+	lpParamRow = 0
+	lpSlotRow  = 1
+)
+
+// BuildLinearProbing constructs the table. The slot count is the smallest
+// power of two ≥ 2n (≥ 2).
+func BuildLinearProbing(keys []uint64, replicated bool, seed uint64) (*LinearProbing, error) {
+	if err := validateKeys(keys); err != nil {
+		return nil, err
+	}
+	n := len(keys)
+	k := uint(1)
+	for (1 << k) < 2*n {
+		k++
+	}
+	w := 1 << k
+	r := rng.New(seed)
+	h := hash.NewMultShift(r, k)
+
+	d := &LinearProbing{
+		n: n, w: w, k: k, replicated: replicated, h: h,
+		slots: make([]uint64, w), occ: make([]bool, w),
+	}
+	for _, x := range keys {
+		p := int(h.Eval(x))
+		chain := 1
+		for d.occ[p] {
+			p = (p + 1) % w
+			chain++
+			if chain > w {
+				return nil, fmt.Errorf("baseline: linear probing table full")
+			}
+		}
+		d.slots[p], d.occ[p] = x, true
+	}
+	// The worst query (an absent key hashing to the start of the longest
+	// occupied run) scans that whole run plus the terminating empty slot.
+	run := 0
+	for j := 0; j < 2*w && run <= w; j++ { // ×2 to handle wrap-around runs
+		if d.occ[j%w] {
+			run++
+			if run > d.maxChain {
+				d.maxChain = run
+			}
+		} else {
+			run = 0
+		}
+	}
+
+	tab := cellprobe.New(2, w)
+	d.tab = tab
+	params := cellprobe.Cell{Lo: h.A, Hi: uint64(k)}
+	if replicated {
+		for j := 0; j < w; j++ {
+			tab.Set(lpParamRow, j, params)
+		}
+	} else {
+		tab.Set(lpParamRow, 0, params)
+	}
+	for j := 0; j < w; j++ {
+		if d.occ[j] {
+			tab.Set(lpSlotRow, j, cellprobe.Cell{Lo: d.slots[j], Hi: occupiedTag})
+		} else {
+			tab.Set(lpSlotRow, j, cellprobe.Cell{Lo: sentinelLo})
+		}
+	}
+	return d, nil
+}
+
+// Name identifies the structure in experiment reports.
+func (d *LinearProbing) Name() string {
+	if d.replicated {
+		return "linear+rep"
+	}
+	return "linear"
+}
+
+// N returns the number of stored keys.
+func (d *LinearProbing) N() int { return d.n }
+
+// Table exposes the cell-probe table.
+func (d *LinearProbing) Table() *cellprobe.Table { return d.tab }
+
+// MaxProbes returns the parameter probe plus the longest insertion chain
+// plus the terminating empty-slot probe.
+func (d *LinearProbing) MaxProbes() int { return d.maxChain + 2 }
+
+// Contains answers membership by walking the probe sequence until the key
+// or an empty slot is found.
+func (d *LinearProbing) Contains(x uint64, r *rng.RNG) (bool, error) {
+	var pc cellprobe.Cell
+	if d.replicated {
+		pc = d.tab.Probe(0, lpParamRow, r.Intn(d.w))
+	} else {
+		pc = d.tab.Probe(0, lpParamRow, 0)
+	}
+	h := hash.MultShift{A: pc.Lo, K: uint(pc.Hi)}
+	if h.K != d.k {
+		return false, fmt.Errorf("baseline: corrupt linear-probing parameters (k=%d)", h.K)
+	}
+	p := int(h.Eval(x))
+	for step := 1; step <= d.w+1; step++ {
+		c := d.tab.Probe(step, lpSlotRow, p)
+		if c.Hi != occupiedTag {
+			return false, nil
+		}
+		if c.Lo == x {
+			return true, nil
+		}
+		p = (p + 1) % d.w
+	}
+	return false, fmt.Errorf("baseline: linear probing scanned full table")
+}
+
+// ProbeSpec returns the exact probe sequence for x (deterministic after the
+// parameter probe).
+func (d *LinearProbing) ProbeSpec(x uint64) cellprobe.ProbeSpec {
+	spec := make(cellprobe.ProbeSpec, 0, 4)
+	if d.replicated {
+		spec = append(spec, cellprobe.UniformSpan(d.tab.Index(lpParamRow, 0), d.w, 1))
+	} else {
+		spec = append(spec, cellprobe.PointSpan(d.tab.Index(lpParamRow, 0), 1))
+	}
+	p := int(d.h.Eval(x))
+	for {
+		spec = append(spec, cellprobe.PointSpan(d.tab.Index(lpSlotRow, p), 1))
+		if !d.occ[p] || d.slots[p] == x {
+			return spec
+		}
+		p = (p + 1) % d.w
+	}
+}

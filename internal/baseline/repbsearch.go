@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/cellprobe"
+	"repro/internal/rng"
+)
+
+// ReplicatedBinarySearch is the naive contention fix the paper implicitly
+// argues against: store k complete copies of the sorted array and have each
+// query search a uniformly random copy. The hottest cell's absolute
+// contention drops to 1/k — but the space grows to k·n, so the contention
+// *ratio to optimal* stays Θ(n): whole-structure replication cannot
+// approach the paper's O(1) ratio with linear space, because it pays for
+// every factor of contention reduction with the same factor of space.
+type ReplicatedBinarySearch struct {
+	n      int
+	copies int
+	keys   []uint64 // sorted
+	tab    *cellprobe.Table
+}
+
+// BuildReplicatedBinarySearch constructs k sorted copies (rows) of keys.
+func BuildReplicatedBinarySearch(keys []uint64, copies int, _ uint64) (*ReplicatedBinarySearch, error) {
+	if err := validateKeys(keys); err != nil {
+		return nil, err
+	}
+	if copies < 1 {
+		copies = 1
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	w := len(sorted)
+	if w < 1 {
+		w = 1
+	}
+	d := &ReplicatedBinarySearch{n: len(sorted), copies: copies, keys: sorted,
+		tab: cellprobe.New(copies, w)}
+	for c := 0; c < copies; c++ {
+		for j := range sorted {
+			d.tab.Set(c, j, cellprobe.Cell{Lo: sorted[j], Hi: occupiedTag})
+		}
+		if len(sorted) == 0 {
+			d.tab.Set(c, 0, cellprobe.Cell{Lo: sentinelLo})
+		}
+	}
+	return d, nil
+}
+
+// Name identifies the structure in experiment reports.
+func (d *ReplicatedBinarySearch) Name() string { return "bsearch+rep" }
+
+// N returns the number of stored keys.
+func (d *ReplicatedBinarySearch) N() int { return d.n }
+
+// Table exposes the cell-probe table.
+func (d *ReplicatedBinarySearch) Table() *cellprobe.Table { return d.tab }
+
+// Copies returns the replication factor k.
+func (d *ReplicatedBinarySearch) Copies() int { return d.copies }
+
+// MaxProbes returns the worst-case probe count ⌈log₂(n+1)⌉.
+func (d *ReplicatedBinarySearch) MaxProbes() int {
+	p := 0
+	for span := d.n; span > 0; span /= 2 {
+		p++
+	}
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// Contains picks a random copy and binary-searches it.
+func (d *ReplicatedBinarySearch) Contains(x uint64, r *rng.RNG) (bool, error) {
+	row := r.Intn(d.copies)
+	lo, hi := 0, d.n-1
+	step := 0
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		c := d.tab.Probe(step, row, mid)
+		step++
+		switch {
+		case c.Lo == x && c.Hi == occupiedTag:
+			return true, nil
+		case c.Lo < x:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return false, nil
+}
+
+// ProbeSpec returns the per-step distribution: each comparison probes the
+// same column of a uniformly random copy — a span over the column across
+// rows would be non-contiguous, so the spec instead uses one span per row
+// weighted 1/k. Spans within a step do not overlap, satisfying the
+// analyzer contract.
+func (d *ReplicatedBinarySearch) ProbeSpec(x uint64) cellprobe.ProbeSpec {
+	spec := make(cellprobe.ProbeSpec, 0, d.MaxProbes())
+	lo, hi := 0, d.n-1
+	mass := 1.0 / float64(d.copies)
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		step := make(cellprobe.StepSpec, 0, d.copies)
+		for c := 0; c < d.copies; c++ {
+			step = append(step, cellprobe.Span{Start: d.tab.Index(c, mid), Count: 1, Mass: mass})
+		}
+		spec = append(spec, step)
+		v := d.keys[mid]
+		if v == x {
+			break
+		}
+		if v < x {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	for len(spec) < d.MaxProbes() {
+		spec = append(spec, cellprobe.StepSpec{})
+	}
+	return spec
+}

@@ -1,0 +1,160 @@
+// Package bitvec provides bit vectors and the unary-coded group histogram
+// of the paper's §2.2.
+//
+// The low-contention dictionary stores, for every group of s/m buckets, a
+// "group histogram": the load of each bucket in the group written
+// consecutively in unary (load many 1-bits) with a single 0-bit separator
+// after each bucket. The query algorithm reads the ρ = O(1) histogram words
+// for its group and decodes every bucket load, from which it derives the
+// ℓ² cell ranges owned by each bucket.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is an append-only bit string packed into 64-bit words, LSB-first
+// within each word (bit i of the string lives in word i/64 at position i%64).
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// New returns an empty vector with capacity for at least nbits bits.
+func New(nbits int) *Vector {
+	return &Vector{words: make([]uint64, 0, (nbits+63)/64)}
+}
+
+// FromWords constructs a vector over an existing word slice holding nbits
+// valid bits. The slice is not copied.
+func FromWords(words []uint64, nbits int) *Vector {
+	if nbits < 0 || nbits > len(words)*64 {
+		panic(fmt.Sprintf("bitvec: %d bits do not fit in %d words", nbits, len(words)))
+	}
+	return &Vector{words: words, n: nbits}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words returns the backing words. The final word's unused high bits are zero.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Append adds a single bit to the end of the vector.
+func (v *Vector) Append(bit bool) {
+	if v.n%64 == 0 {
+		v.words = append(v.words, 0)
+	}
+	if bit {
+		v.words[v.n/64] |= 1 << uint(v.n%64)
+	}
+	v.n++
+}
+
+// AppendRun appends count copies of bit.
+func (v *Vector) AppendRun(bit bool, count int) {
+	if count < 0 {
+		panic("bitvec: negative run length")
+	}
+	for i := 0; i < count; i++ {
+		v.Append(bit)
+	}
+}
+
+// Bit returns bit i. It panics if i is out of range.
+func (v *Vector) Bit(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: bit %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[i/64]>>(uint(i%64))&1 == 1
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// EncodeHistogram encodes bucket loads as the paper's unary group histogram:
+// for each load ℓ, ℓ one-bits followed by one zero-bit separator. The total
+// length is sum(loads) + len(loads) bits.
+func EncodeHistogram(loads []int) *Vector {
+	total := len(loads)
+	for _, l := range loads {
+		if l < 0 {
+			panic("bitvec: negative load")
+		}
+		total += l
+	}
+	v := New(total)
+	for _, l := range loads {
+		v.AppendRun(true, l)
+		v.Append(false)
+	}
+	return v
+}
+
+// DecodeHistogram decodes a unary group histogram of exactly count buckets.
+// It returns an error if the vector does not contain count separators, or if
+// bits remain after the final separator.
+func DecodeHistogram(v *Vector, count int) ([]int, error) {
+	if count == 0 {
+		for j := 0; j < v.Len(); j++ {
+			if v.Bit(j) {
+				return nil, fmt.Errorf("bitvec: trailing one-bit at %d after 0 buckets", j)
+			}
+		}
+		return []int{}, nil
+	}
+	loads := make([]int, 0, count)
+	run := 0
+	for i := 0; i < v.Len(); i++ {
+		if v.Bit(i) {
+			run++
+			continue
+		}
+		loads = append(loads, run)
+		run = 0
+		if len(loads) == count {
+			for j := i + 1; j < v.Len(); j++ {
+				if v.Bit(j) {
+					return nil, fmt.Errorf("bitvec: trailing one-bit at %d after %d buckets", j, count)
+				}
+			}
+			return loads, nil
+		}
+	}
+	return nil, fmt.Errorf("bitvec: histogram has %d separators, want %d", len(loads), count)
+}
+
+// DecodeHistogramPrefix decodes the first count bucket loads, ignoring any
+// bits after the count-th separator. This is the query-side decoder: the ρ
+// histogram cells a group owns may contain padding bits beyond the encoded
+// histogram.
+func DecodeHistogramPrefix(v *Vector, count int) ([]int, error) {
+	if count == 0 {
+		return []int{}, nil
+	}
+	loads := make([]int, 0, count)
+	run := 0
+	for i := 0; i < v.Len(); i++ {
+		if v.Bit(i) {
+			run++
+			continue
+		}
+		loads = append(loads, run)
+		run = 0
+		if len(loads) == count {
+			return loads, nil
+		}
+	}
+	return nil, fmt.Errorf("bitvec: histogram has %d separators, want %d", len(loads), count)
+}
+
+// HistogramBits returns the exact number of bits needed to encode the given
+// bucket count and total load: totalLoad ones plus count separators.
+func HistogramBits(count, totalLoad int) int { return count + totalLoad }

@@ -1,0 +1,198 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAppendAndBit(t *testing.T) {
+	v := New(0)
+	pattern := []bool{true, false, true, true, false, false, true}
+	for _, b := range pattern {
+		v.Append(b)
+	}
+	if v.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(pattern))
+	}
+	for i, want := range pattern {
+		if got := v.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAppendCrossesWordBoundary(t *testing.T) {
+	v := New(0)
+	for i := 0; i < 130; i++ {
+		v.Append(i%3 == 0)
+	}
+	for i := 0; i < 130; i++ {
+		if v.Bit(i) != (i%3 == 0) {
+			t.Fatalf("Bit(%d) wrong across word boundary", i)
+		}
+	}
+	if got, want := v.OnesCount(), (130+2)/3; got != want {
+		t.Errorf("OnesCount = %d, want %d", got, want)
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	v := New(0)
+	v.Append(true)
+	for _, i := range []int{-1, 1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+	}
+}
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	words := []uint64{0xdeadbeef, 0x12345678}
+	v := FromWords(words, 100)
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for i := 0; i < 100; i++ {
+		want := words[i/64]>>(uint(i%64))&1 == 1
+		if v.Bit(i) != want {
+			t.Errorf("Bit(%d) mismatch", i)
+		}
+	}
+}
+
+func TestFromWordsPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromWords with too many bits did not panic")
+		}
+	}()
+	FromWords([]uint64{1}, 65)
+}
+
+func TestHistogramRoundTripFixed(t *testing.T) {
+	cases := [][]int{
+		{},
+		{0},
+		{0, 0, 0},
+		{1, 2, 3},
+		{5},
+		{0, 7, 0, 1, 64, 2},
+	}
+	for _, loads := range cases {
+		v := EncodeHistogram(loads)
+		if got, want := v.Len(), HistogramBits(len(loads), sum(loads)); got != want {
+			t.Errorf("encoded %v into %d bits, want %d", loads, got, want)
+		}
+		dec, err := DecodeHistogram(v, len(loads))
+		if err != nil {
+			t.Errorf("decode %v: %v", loads, err)
+			continue
+		}
+		if !equal(dec, loads) {
+			t.Errorf("round trip %v -> %v", loads, dec)
+		}
+	}
+}
+
+func TestHistogramRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		loads := make([]int, len(raw))
+		for i, r := range raw {
+			loads[i] = int(r % 20)
+		}
+		dec, err := DecodeHistogram(EncodeHistogram(loads), len(loads))
+		return err == nil && equal(dec, loads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHistogramPrefixIgnoresPadding(t *testing.T) {
+	loads := []int{3, 0, 2, 5}
+	v := EncodeHistogram(loads)
+	// Simulate the query path: the cells may carry stale padding bits.
+	v.AppendRun(true, 9)
+	v.Append(false)
+	dec, err := DecodeHistogramPrefix(v, len(loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(dec, loads) {
+		t.Errorf("prefix decode = %v, want %v", dec, loads)
+	}
+	// Strict decode must reject the padding.
+	if _, err := DecodeHistogram(v, len(loads)); err == nil {
+		t.Error("strict decode accepted trailing one-bits")
+	}
+}
+
+func TestDecodeHistogramErrors(t *testing.T) {
+	v := EncodeHistogram([]int{1, 2})
+	if _, err := DecodeHistogram(v, 3); err == nil {
+		t.Error("decode with too-large count did not fail")
+	}
+	if _, err := DecodeHistogramPrefix(v, 3); err == nil {
+		t.Error("prefix decode with too-large count did not fail")
+	}
+}
+
+func TestEncodeHistogramPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EncodeHistogram(-1) did not panic")
+		}
+	}()
+	EncodeHistogram([]int{-1})
+}
+
+func TestHistogramViaWordsRoundTrip(t *testing.T) {
+	// The dictionary ships histograms between build and query as raw words;
+	// verify Words -> FromWords preserves the decode.
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(40)
+		loads := make([]int, n)
+		total := 0
+		for i := range loads {
+			loads[i] = r.Intn(10)
+			total += loads[i]
+		}
+		v := EncodeHistogram(loads)
+		w := FromWords(v.Words(), HistogramBits(n, total))
+		dec, err := DecodeHistogram(w, n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !equal(dec, loads) {
+			t.Fatalf("trial %d: %v != %v", trial, dec, loads)
+		}
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package cellprobe
+
+import (
+	"fmt"
+	"math"
+)
+
+// Span is probability mass spread uniformly over a contiguous range of flat
+// cell indices: each of the Count cells starting at Start receives
+// Mass/Count. The query algorithms of this repository only ever randomize
+// uniformly within replica ranges, so spans represent their probe
+// distributions exactly and compactly.
+type Span struct {
+	Start int
+	Count int
+	Mass  float64
+}
+
+// PerCell returns the probability assigned to each individual cell in the span.
+func (sp Span) PerCell() float64 { return sp.Mass / float64(sp.Count) }
+
+// StepSpec is the probe distribution of one step: a sub-stochastic set of
+// spans (total mass ≤ 1; < 1 when the step executes only conditionally).
+type StepSpec []Span
+
+// Mass returns the total probability that this step performs a probe.
+func (s StepSpec) Mass() float64 {
+	total := 0.0
+	for _, sp := range s {
+		total += sp.Mass
+	}
+	return total
+}
+
+// ProbeSpec is the exact per-step probe distribution of one query input x on
+// a fixed table — the row P_t(x, ·) of the paper's probe matrices for every
+// step t (§1.1: Pt(x, j) = Pr[I_t(x) = j]).
+type ProbeSpec []StepSpec
+
+// Validate checks that the spec is well-formed for a table of the given cell
+// count: spans in range, counts positive, masses non-negative, and each
+// step's total mass ≤ 1 + ε.
+func (p ProbeSpec) Validate(cells int) error {
+	const eps = 1e-9
+	for t, step := range p {
+		mass := 0.0
+		for _, sp := range step {
+			if sp.Count <= 0 {
+				return fmt.Errorf("step %d: span count %d", t, sp.Count)
+			}
+			if sp.Start < 0 || sp.Start+sp.Count > cells {
+				return fmt.Errorf("step %d: span [%d,%d) outside table of %d cells", t, sp.Start, sp.Start+sp.Count, cells)
+			}
+			if sp.Mass < -eps || math.IsNaN(sp.Mass) {
+				return fmt.Errorf("step %d: span mass %v", t, sp.Mass)
+			}
+			mass += sp.Mass
+		}
+		if mass > 1+eps {
+			return fmt.Errorf("step %d: total mass %v exceeds 1", t, mass)
+		}
+	}
+	return nil
+}
+
+// MaxCellProb returns, for each step, the largest single-cell probability in
+// that step — max_j P_t(x, j). This is the quantity constraint (2) of
+// Lemma 14 bounds by φ*/q_x.
+func (p ProbeSpec) MaxCellProb() []float64 {
+	out := make([]float64, len(p))
+	for t, step := range p {
+		// Spans within one step may overlap (e.g. two conditional branches
+		// probing the same replica range); accumulate per-cell via a sparse
+		// sweep over span boundaries.
+		out[t] = maxOverlap(step)
+	}
+	return out
+}
+
+// maxOverlap computes the maximum per-cell mass of a set of spans, allowing
+// overlaps, by a boundary sweep.
+func maxOverlap(step StepSpec) float64 {
+	if len(step) == 0 {
+		return 0
+	}
+	type edge struct {
+		pos   int
+		delta float64
+	}
+	edges := make([]edge, 0, 2*len(step))
+	for _, sp := range step {
+		pc := sp.PerCell()
+		edges = append(edges, edge{sp.Start, pc}, edge{sp.Start + sp.Count, -pc})
+	}
+	// Insertion sort by position: span lists are tiny (≤ a few dozen).
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j].pos < edges[j-1].pos; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	best, cur := 0.0, 0.0
+	for i, e := range edges {
+		cur += e.delta
+		// Only evaluate at the end of a position group.
+		if i+1 < len(edges) && edges[i+1].pos == e.pos {
+			continue
+		}
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// UniformSpan builds the common case: one probe chosen uniformly among count
+// replicas starting at flat index start, executed with the given probability.
+func UniformSpan(start, count int, mass float64) StepSpec {
+	return StepSpec{{Start: start, Count: count, Mass: mass}}
+}
+
+// PointSpan builds a deterministic probe of a single cell with the given mass.
+func PointSpan(index int, mass float64) StepSpec {
+	return StepSpec{{Start: index, Count: 1, Mass: mass}}
+}

@@ -1,0 +1,287 @@
+// Package cellprobe implements the paper's model of computation (§1.1):
+// a table of s cells of b bits each, probed by a randomized adaptive query
+// algorithm, with per-cell per-step contention accounting.
+//
+// Two accounting mechanisms coexist:
+//
+//   - a Recorder counts actual probes during Monte-Carlo query execution,
+//     yielding the empirical contention Φ̂_t(j) = probes_t(j) / queries;
+//   - a ProbeSpec describes a query's exact per-step probe distribution as
+//     a set of uniform spans, from which package contention computes the
+//     exact Φ_t = q·P_t of Definition 1 without sampling.
+//
+// Cells are 128 bits (b = Θ(log N) for the 2^61-key universe; wide enough
+// that one cell holds a full pairwise hash function, preserving the paper's
+// one-probe-per-row table layout).
+//
+// Rows may be backed densely (one Go value per cell) or compactly
+// (SetBlockRow): a row whose content repeats in blocks — the replicated
+// rows of the paper's construction — stores one value per block while
+// still *accounting* for the full s cells of model space. Compact backing
+// changes nothing observable through At/Probe.
+package cellprobe
+
+import "fmt"
+
+// Cell is one b-bit memory cell, b = 128.
+type Cell struct {
+	Lo, Hi uint64
+}
+
+// Table is a rows × width grid of cells addressed either two-dimensionally
+// (row, col) following the paper's §2.2 layout, or by flat index
+// row*width + col. The zero column count is invalid; use New.
+type Table struct {
+	rows  int
+	width int
+	dense [][]Cell   // dense[r] allocated on first Set of row r
+	block []blockRow // block[r].values non-nil for compact rows
+	rec   *Recorder
+	trace func(step, cell int)
+}
+
+// blockRow is a shared backing for a row whose content is constant on
+// consecutive blocks of blk columns.
+type blockRow struct {
+	values []Cell
+	blk    int
+}
+
+func (b blockRow) at(col int) Cell {
+	i := col / b.blk
+	if i >= len(b.values) {
+		i = len(b.values) - 1
+	}
+	return b.values[i]
+}
+
+// New allocates a table of the given shape with all cells zero. Row storage
+// is allocated lazily on first write, so compact tables never materialize
+// their replicated rows.
+func New(rows, width int) *Table {
+	if rows < 1 || width < 1 {
+		panic(fmt.Sprintf("cellprobe: invalid table shape %d×%d", rows, width))
+	}
+	return &Table{
+		rows:  rows,
+		width: width,
+		dense: make([][]Cell, rows),
+		block: make([]blockRow, rows),
+	}
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+// Width returns the number of cells per row (the paper's s).
+func (t *Table) Width() int { return t.width }
+
+// Size returns the total number of cells — the model's space usage, which
+// counts replicated cells at full size regardless of backing.
+func (t *Table) Size() int { return t.rows * t.width }
+
+// HeapCells returns the number of Cell values actually allocated — the Go
+// memory footprint (compact rows count one value per block).
+func (t *Table) HeapCells() int {
+	total := 0
+	for r := 0; r < t.rows; r++ {
+		total += len(t.dense[r]) + len(t.block[r].values)
+	}
+	return total
+}
+
+// Index converts (row, col) to a flat cell index.
+func (t *Table) Index(row, col int) int {
+	if row < 0 || row >= t.rows || col < 0 || col >= t.width {
+		panic(fmt.Sprintf("cellprobe: index (%d,%d) out of %d×%d table", row, col, t.rows, t.width))
+	}
+	return row*t.width + col
+}
+
+// read returns the cell value honoring the row's backing.
+func (t *Table) read(row, col int) Cell {
+	if b := t.block[row]; b.values != nil {
+		return b.at(col)
+	}
+	if d := t.dense[row]; d != nil {
+		return d[col]
+	}
+	return Cell{}
+}
+
+// Set writes a cell during construction. Construction writes are not probes
+// and are never recorded. Writing to a compact row panics — replace the
+// backing with SetBlockRow instead.
+func (t *Table) Set(row, col int, c Cell) {
+	i := t.Index(row, col) // bounds check
+	_ = i
+	if t.block[row].values != nil {
+		panic(fmt.Sprintf("cellprobe: Set on compact row %d", row))
+	}
+	if t.dense[row] == nil {
+		t.dense[row] = make([]Cell, t.width)
+	}
+	t.dense[row][col] = c
+}
+
+// SetBlockRow installs a compact backing for a row whose content is
+// values[col/blk] (with the last value covering any trailing columns).
+// It requires blk ≥ 1 and len(values)·blk ≥ width − blk (the values must
+// cover the row) and replaces any dense data previously written to the row.
+func (t *Table) SetBlockRow(row int, values []Cell, blk int) {
+	if row < 0 || row >= t.rows {
+		panic(fmt.Sprintf("cellprobe: row %d out of range", row))
+	}
+	if blk < 1 || len(values) == 0 {
+		panic("cellprobe: SetBlockRow needs blk ≥ 1 and values")
+	}
+	if len(values)*blk+blk <= t.width {
+		panic(fmt.Sprintf("cellprobe: %d values of block %d do not cover width %d", len(values), blk, t.width))
+	}
+	t.dense[row] = nil
+	t.block[row] = blockRow{values: values, blk: blk}
+}
+
+// At reads a cell without recording a probe. Only construction and test
+// oracles may use it; query algorithms must use Probe.
+func (t *Table) At(row, col int) Cell {
+	t.Index(row, col) // bounds check
+	return t.read(row, col)
+}
+
+// AtIndex reads by flat index without recording a probe.
+func (t *Table) AtIndex(i int) Cell {
+	if i < 0 || i >= t.Size() {
+		panic(fmt.Sprintf("cellprobe: flat index %d out of range %d", i, t.Size()))
+	}
+	return t.read(i/t.width, i%t.width)
+}
+
+// Probe performs a recorded query probe of cell (row, col) at the given
+// 0-based step number and returns the cell contents.
+func (t *Table) Probe(step, row, col int) Cell {
+	i := t.Index(row, col)
+	if t.rec != nil {
+		t.rec.record(step, i)
+	}
+	if t.trace != nil {
+		t.trace(step, i)
+	}
+	return t.read(row, col)
+}
+
+// ProbeIndex performs a recorded query probe by flat cell index.
+func (t *Table) ProbeIndex(step, i int) Cell {
+	if i < 0 || i >= t.Size() {
+		panic(fmt.Sprintf("cellprobe: flat index %d out of range %d", i, t.Size()))
+	}
+	if t.rec != nil {
+		t.rec.record(step, i)
+	}
+	if t.trace != nil {
+		t.trace(step, i)
+	}
+	return t.read(i/t.width, i%t.width)
+}
+
+// SetTrace installs a per-probe callback invoked with (step, flat cell
+// index) on every Probe/ProbeIndex. Pass nil to remove it. The memory
+// simulator uses it to capture the exact probe sequence of a query.
+func (t *Table) SetTrace(f func(step, cell int)) { t.trace = f }
+
+// Attach installs a recorder that accumulates probe counts until Detach.
+// Attaching replaces any previous recorder.
+func (t *Table) Attach(r *Recorder) { t.rec = r }
+
+// Detach removes the recorder.
+func (t *Table) Detach() { t.rec = nil }
+
+// Recorder returns the attached recorder, or nil.
+func (t *Table) Recorder() *Recorder { return t.rec }
+
+// Recorder accumulates per-step, per-cell probe counts over a sequence of
+// query executions. Divide by Queries to estimate contention.
+type Recorder struct {
+	cells   int
+	Queries int        // number of queries executed (incremented by EndQuery)
+	Total   []uint64   // Total[i] = probes to cell i summed over all steps
+	PerStep [][]uint64 // PerStep[t][i], allocated lazily per step
+	probes  uint64     // total probes across all queries
+}
+
+// NewRecorder creates a recorder for a table with the given cell count.
+func NewRecorder(cells int) *Recorder {
+	return &Recorder{cells: cells, Total: make([]uint64, cells)}
+}
+
+func (r *Recorder) record(step, cell int) {
+	r.Total[cell]++
+	r.probes++
+	for len(r.PerStep) <= step {
+		r.PerStep = append(r.PerStep, nil)
+	}
+	if r.PerStep[step] == nil {
+		r.PerStep[step] = make([]uint64, r.cells)
+	}
+	r.PerStep[step][cell]++
+}
+
+// EndQuery marks the completion of one query execution.
+func (r *Recorder) EndQuery() { r.Queries++ }
+
+// Steps returns the number of distinct step indices observed.
+func (r *Recorder) Steps() int { return len(r.PerStep) }
+
+// ProbesPerQuery returns the mean number of probes per executed query.
+func (r *Recorder) ProbesPerQuery() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.probes) / float64(r.Queries)
+}
+
+// MaxStepContention returns max over steps t and cells j of Φ̂_t(j) =
+// PerStep[t][j] / Queries — the empirical analogue of the φ in
+// Definition 2's (s,b,t,φ)-balanced scheme.
+func (r *Recorder) MaxStepContention() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	var best uint64
+	for _, step := range r.PerStep {
+		for _, c := range step {
+			if c > best {
+				best = c
+			}
+		}
+	}
+	return float64(best) / float64(r.Queries)
+}
+
+// MaxTotalContention returns max_j Φ̂(j) = Total[j] / Queries, the total
+// contention of Definition 1.
+func (r *Recorder) MaxTotalContention() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	var best uint64
+	for _, c := range r.Total {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(r.Queries)
+}
+
+// StepMass returns the total probe mass recorded at step t divided by
+// Queries; ≤ 1, and exactly 1 for steps every query executes.
+func (r *Recorder) StepMass(t int) float64 {
+	if r.Queries == 0 || t >= len(r.PerStep) || r.PerStep[t] == nil {
+		return 0
+	}
+	var sum uint64
+	for _, c := range r.PerStep[t] {
+		sum += c
+	}
+	return float64(sum) / float64(r.Queries)
+}

@@ -1,0 +1,253 @@
+// Package contention measures the contention of Definition 1 for any
+// dictionary built on the cell-probe substrate.
+//
+// Two estimators are provided. Exact computes Φ_t = q·P_t precisely from the
+// structures' per-query probe specifications via difference arrays (linear
+// in support size plus table size). MonteCarlo executes real queries against
+// the recorded table and divides probe counts by query count. The test suite
+// checks that the two agree.
+package contention
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cellprobe"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// Structure is the common surface of every dictionary in this repository:
+// the low-contention dictionary (internal/core) and every baseline
+// (internal/baseline) satisfy it.
+type Structure interface {
+	// Name identifies the structure in reports.
+	Name() string
+	// N returns the number of stored keys.
+	N() int
+	// Table exposes the cell-probe table for probe recording.
+	Table() *cellprobe.Table
+	// MaxProbes bounds the number of probes any query makes.
+	MaxProbes() int
+	// Contains answers membership, reading only table cells via probes.
+	Contains(x uint64, r *rng.RNG) (bool, error)
+	// ProbeSpec returns the exact per-step probe distribution for x.
+	ProbeSpec(x uint64) cellprobe.ProbeSpec
+}
+
+// ExactResult summarizes the exact contention of a structure under a query
+// distribution.
+type ExactResult struct {
+	Structure string
+	Cells     int       // table size s (the model's cell count)
+	Steps     int       // probe steps with non-zero mass
+	MaxStep   float64   // max over steps t and cells j of Φ_t(j)
+	MaxTotal  float64   // max over cells j of Φ(j) = Σ_t Φ_t(j)
+	StepMass  []float64 // probability each step executes (Σ_j Φ_t(j))
+	Probes    float64   // expected probes per query (Σ_t StepMass[t])
+}
+
+// RatioStep is the headline number of every experiment table: the per-step
+// contention as a multiple of the optimum 1/s. Definition 2's balanced
+// schemes keep it O(1).
+func (r ExactResult) RatioStep() float64 { return r.MaxStep * float64(r.Cells) }
+
+// RatioTotal is the total contention as a multiple of 1/s.
+func (r ExactResult) RatioTotal() float64 { return r.MaxTotal * float64(r.Cells) }
+
+// Exact computes the exact contention of st under the weighted support of a
+// query distribution: Φ_t(j) = Σ_x q_x · P_t(x, j), with P_t taken from
+// st.ProbeSpec. The support weights should sum to 1.
+func Exact(st Structure, support []dist.Weighted) (ExactResult, error) {
+	cells := st.Table().Size()
+	specs := make([]cellprobe.ProbeSpec, len(support))
+	steps := 0
+	for i, w := range support {
+		specs[i] = st.ProbeSpec(w.Key)
+		if err := specs[i].Validate(cells); err != nil {
+			return ExactResult{}, fmt.Errorf("contention: spec for key %d: %w", w.Key, err)
+		}
+		if len(specs[i]) > steps {
+			steps = len(specs[i])
+		}
+	}
+	res := ExactResult{Structure: st.Name(), Cells: cells, Steps: steps}
+	total := make([]float64, cells)
+	diff := make([]float64, cells+1)
+	for t := 0; t < steps; t++ {
+		for i := range diff {
+			diff[i] = 0
+		}
+		mass := 0.0
+		for i, w := range support {
+			if t >= len(specs[i]) {
+				continue
+			}
+			for _, sp := range specs[i][t] {
+				pc := sp.PerCell() * w.P
+				diff[sp.Start] += pc
+				diff[sp.Start+sp.Count] -= pc
+				mass += sp.Mass * w.P
+			}
+		}
+		acc := 0.0
+		for j := 0; j < cells; j++ {
+			acc += diff[j]
+			total[j] += acc
+			if acc > res.MaxStep {
+				res.MaxStep = acc
+			}
+		}
+		res.StepMass = append(res.StepMass, mass)
+		res.Probes += mass
+	}
+	for _, v := range total {
+		if v > res.MaxTotal {
+			res.MaxTotal = v
+		}
+	}
+	return res, nil
+}
+
+// Profile returns the per-cell total contention vector Φ(j) under the given
+// support — the raw data behind the F1 load-profile figure.
+func Profile(st Structure, support []dist.Weighted) ([]float64, error) {
+	cells := st.Table().Size()
+	total := make([]float64, cells)
+	for _, w := range support {
+		spec := st.ProbeSpec(w.Key)
+		if err := spec.Validate(cells); err != nil {
+			return nil, fmt.Errorf("contention: spec for key %d: %w", w.Key, err)
+		}
+		for _, step := range spec {
+			for _, sp := range step {
+				pc := sp.PerCell() * w.P
+				for j := sp.Start; j < sp.Start+sp.Count; j++ {
+					total[j] += pc
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// SortedDescending returns a copy of profile sorted from hottest to coldest.
+func SortedDescending(profile []float64) []float64 {
+	out := append([]float64(nil), profile...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// Quantiles picks the values at the given fractions (0 = hottest cell) of a
+// descending-sorted profile.
+func Quantiles(sorted []float64, fracs []float64) []float64 {
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		idx := int(f * float64(len(sorted)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}
+
+// Flatness summarizes how evenly a per-cell contention profile spreads.
+type Flatness struct {
+	// Gini is the Gini coefficient of the profile: 0 = perfectly flat,
+	// → 1 = all mass on one cell.
+	Gini float64
+	// NormalizedEntropy is H(profile)/log(cells): 1 = perfectly flat.
+	NormalizedEntropy float64
+	// MaxOverMean is the peak-to-average ratio (1 = flat).
+	MaxOverMean float64
+}
+
+// FlatnessOf computes flatness statistics for a contention profile.
+// Zero-mass profiles return the flat extreme.
+func FlatnessOf(profile []float64) Flatness {
+	n := len(profile)
+	if n == 0 {
+		return Flatness{NormalizedEntropy: 1, MaxOverMean: 1}
+	}
+	total, maxV := 0.0, 0.0
+	for _, v := range profile {
+		total += v
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if total == 0 {
+		return Flatness{NormalizedEntropy: 1, MaxOverMean: 1}
+	}
+	mean := total / float64(n)
+
+	sorted := append([]float64(nil), profile...)
+	sort.Float64s(sorted)
+	// Gini = (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n with 1-based ranks.
+	weighted := 0.0
+	for i, v := range sorted {
+		weighted += float64(i+1) * v
+	}
+	gini := 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+
+	entropy := 0.0
+	for _, v := range profile {
+		if v > 0 {
+			p := v / total
+			entropy -= p * math.Log(p)
+		}
+	}
+	norm := 1.0
+	if n > 1 {
+		norm = entropy / math.Log(float64(n))
+	}
+	return Flatness{Gini: gini, NormalizedEntropy: norm, MaxOverMean: maxV / mean}
+}
+
+// MonteCarloResult summarizes recorded-probe contention estimation.
+type MonteCarloResult struct {
+	Structure string
+	Queries   int
+	Cells     int
+	MaxStep   float64 // empirical max_t,j Φ̂_t(j)
+	MaxTotal  float64 // empirical max_j Φ̂(j)
+	Probes    float64 // mean probes per query
+	Positives int     // queries answered true
+}
+
+// RatioStep is the empirical per-step contention ratio to optimal.
+func (r MonteCarloResult) RatioStep() float64 { return r.MaxStep * float64(r.Cells) }
+
+// MonteCarlo executes queries sampled from q against st with full probe
+// recording and returns the empirical contention.
+func MonteCarlo(st Structure, q dist.Dist, queries int, r *rng.RNG) (MonteCarloResult, error) {
+	tab := st.Table()
+	rec := cellprobe.NewRecorder(tab.Size())
+	tab.Attach(rec)
+	defer tab.Detach()
+	positives := 0
+	for i := 0; i < queries; i++ {
+		ok, err := st.Contains(q.Sample(r), r)
+		if err != nil {
+			return MonteCarloResult{}, fmt.Errorf("contention: query %d on %s: %w", i, st.Name(), err)
+		}
+		if ok {
+			positives++
+		}
+		rec.EndQuery()
+	}
+	return MonteCarloResult{
+		Structure: st.Name(),
+		Queries:   queries,
+		Cells:     tab.Size(),
+		MaxStep:   rec.MaxStepContention(),
+		MaxTotal:  rec.MaxTotalContention(),
+		Probes:    rec.ProbesPerQuery(),
+		Positives: positives,
+	}, nil
+}

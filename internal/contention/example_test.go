@@ -1,0 +1,46 @@
+package contention_test
+
+import (
+	"fmt"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+)
+
+// Example computes the exact contention of the Theorem 3 dictionary under
+// uniform positive queries: the max per-step cell probability, as a
+// multiple of the optimal 1/s, is a small constant.
+func Example() {
+	keys := experiments.Keys(1024, 7)
+	d, err := core.Build(keys, core.Params{}, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	q := dist.NewUniformSet(keys, "")
+	res, err := contention.Exact(d, q.Support())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ratio below 64:", res.RatioStep() < 64)
+	fmt.Println("probes:", res.Probes)
+	// Output:
+	// ratio below 64: true
+	// probes: 13
+	//
+}
+
+// ExampleFlatnessOf contrasts profile shapes: a flat profile has Gini 0; a
+// single spike approaches 1.
+func ExampleFlatnessOf() {
+	flat := contention.FlatnessOf([]float64{1, 1, 1, 1})
+	spike := contention.FlatnessOf([]float64{0, 0, 0, 4})
+	fmt.Printf("flat  gini %.2f entropy %.2f\n", flat.Gini, flat.NormalizedEntropy)
+	fmt.Printf("spike gini %.2f entropy %.2f\n", spike.Gini, spike.NormalizedEntropy)
+	// Output:
+	// flat  gini 0.00 entropy 1.00
+	// spike gini 0.75 entropy 0.00
+}

@@ -1,0 +1,586 @@
+// Package core implements the paper's primary contribution (§2): the
+// low-contention static dictionary of Theorem 3 — an
+// (O(n), b, O(1), O(1/n))-balanced cell-probing scheme for membership under
+// query distributions that are uniform within the positive set and uniform
+// within the negative set.
+//
+// # Construction (§2.2)
+//
+// Draw f ∈ H^d_s, g ∈ H^d_r, z ∈ [s]^r and form the DM-family function
+// h(x) = (f(x) + z_{g(x)}) mod s assigning keys to s buckets, and
+// h′ = h mod m arranging the buckets into m groups of s/m buckets each.
+// Resample until property P(S) holds:
+//
+//	∀i ∈ [r]: ℓ(S, g, i) ≤ c·n/r          (g-blocks are balanced)
+//	∀i ∈ [m]: ℓ(S, h′, i) ≤ c·n/m         (groups are balanced)
+//	Σ_i ℓ(S, h, i)² ≤ s                   (FKS condition)
+//
+// The table stores, in O(1) rows of s cells each: the 2d hash coefficients
+// (each replicated across a full row), the vector z (replicated s/r times),
+// the group base addresses GBAS (replicated s/m times), ρ = O(1) rows of
+// unary-coded group histograms (replicated s/m times), and per bucket a
+// pairwise perfect hash plus the bucket data in the ℓ² cells the bucket owns.
+//
+// # Query (§2.3)
+//
+// Each probe picks a uniformly random replica, so every step spreads its
+// probability mass over a range whose size P(S) guarantees to be within a
+// constant factor of n times the range's query mass — contention O(1/n) per
+// step for uniform-positive and (via Lemma 10) uniform-negative queries.
+//
+// # Deviations from the paper's presentation
+//
+//   - Replicas are laid out in contiguous blocks (cell j of row zRow holds
+//     z[j / (s/r)]) rather than residue classes (z[j mod r]). The replica
+//     counts and therefore all contention bounds are unchanged; contiguous
+//     blocks let the exact contention analyzer represent every probe
+//     distribution as a uniform interval.
+//   - Cells are 128 bits wide (b = Θ(log N) for the 2^61 universe), so one
+//     cell holds both coefficients of a bucket's pairwise perfect hash and
+//     the paper's one-probe-per-row layout is preserved exactly.
+//   - The constants (c, d, δ, α, β) are configurable with defaults
+//     satisfying Lemma 9's constraints; because P(S) is an asymptotic
+//     1/2 − o(1) event, the builder escalates the slack constant c after
+//     a bounded number of failed draws and reports the escalation.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// Sentinel fills unoccupied data cells. Occupied cells carry Hi = occupiedTag.
+const (
+	sentinelLo  = ^uint64(0)
+	occupiedTag = uint64(1)
+)
+
+// Params are the construction constants of §2.2. Zero values select the
+// defaults, which satisfy every constraint of Lemma 9:
+// d = 4 (> 2), δ = 1/2 ∈ (2/(d+2), 1 − 1/d), c = 2e, α = 2 > d/(c(ln c − 1)),
+// β = 4 ≥ 2.
+type Params struct {
+	// D is the independence degree d of the hash families; must be > 2.
+	D int
+	// Delta sets r = ⌈n^Delta⌉; must lie in (2/(D+2), 1 − 1/D).
+	Delta float64
+	// Alpha sets the group count m ≈ n / (Alpha·ln n).
+	Alpha float64
+	// Beta sets the bucket count s ≈ Beta·n; must be ≥ 2.
+	Beta float64
+	// C is the load-slack constant c of property P(S); must be > e.
+	C float64
+	// MaxTriesPerSlack bounds the number of (f, g, z) draws at each slack
+	// level before c is multiplied by SlackGrowth.
+	MaxTriesPerSlack int
+	// SlackGrowth is the escalation factor applied to c; must be > 1.
+	SlackGrowth float64
+	// MaxEscalations bounds the number of slack escalations.
+	MaxEscalations int
+	// PerfectMaxTries bounds the per-bucket perfect-hash search.
+	PerfectMaxTries int
+	// Strided selects the paper's literal replica layout (copy j of z at
+	// column j mod r, of group data at column j mod m) instead of the
+	// default contiguous blocks. The replica counts, probe counts and
+	// contention are identical; the strided layout exists to validate
+	// that equivalence empirically. ProbeSpec (the exact analyzer)
+	// requires the block layout and panics for strided dictionaries —
+	// use Monte-Carlo contention measurement instead.
+	Strided bool
+	// Compact backs the replicated rows (coefficients, z, GBAS,
+	// histograms) with one stored value per replica block instead of
+	// materializing every copy, cutting the Go heap from ≈ 14·βn cells to
+	// ≈ 2·βn while leaving the model's space accounting — and every
+	// observable behaviour — unchanged. Incompatible with Strided.
+	Compact bool
+}
+
+// DefaultParams returns the paper-faithful defaults described on Params.
+func DefaultParams() Params {
+	return Params{
+		D:                4,
+		Delta:            0.5,
+		Alpha:            2,
+		Beta:             4,
+		C:                2 * math.E,
+		MaxTriesPerSlack: 48,
+		SlackGrowth:      1.5,
+		MaxEscalations:   10,
+		PerfectMaxTries:  1000,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	def := DefaultParams()
+	if p.D == 0 {
+		p.D = def.D
+	}
+	if p.Delta == 0 {
+		p.Delta = def.Delta
+	}
+	if p.Alpha == 0 {
+		p.Alpha = def.Alpha
+	}
+	if p.Beta == 0 {
+		p.Beta = def.Beta
+	}
+	if p.C == 0 {
+		p.C = def.C
+	}
+	if p.MaxTriesPerSlack == 0 {
+		p.MaxTriesPerSlack = def.MaxTriesPerSlack
+	}
+	if p.SlackGrowth == 0 {
+		p.SlackGrowth = def.SlackGrowth
+	}
+	if p.MaxEscalations == 0 {
+		p.MaxEscalations = def.MaxEscalations
+	}
+	if p.PerfectMaxTries == 0 {
+		p.PerfectMaxTries = def.PerfectMaxTries
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.D <= 2 {
+		return fmt.Errorf("core: d = %d must be > 2", p.D)
+	}
+	lo, hi := 2.0/float64(p.D+2), 1.0-1.0/float64(p.D)
+	if p.Delta <= lo || p.Delta >= hi {
+		return fmt.Errorf("core: delta = %v outside (%v, %v)", p.Delta, lo, hi)
+	}
+	if p.C <= math.E {
+		return fmt.Errorf("core: c = %v must exceed e", p.C)
+	}
+	if p.Beta < 2 {
+		return fmt.Errorf("core: beta = %v must be ≥ 2", p.Beta)
+	}
+	if p.Alpha <= 0 {
+		return fmt.Errorf("core: alpha = %v must be positive", p.Alpha)
+	}
+	if p.SlackGrowth <= 1 {
+		return fmt.Errorf("core: slack growth %v must exceed 1", p.SlackGrowth)
+	}
+	return nil
+}
+
+// BuildReport records what the construction actually did — the evidence for
+// experiment T4 (expected O(1) resampling rounds, O(n) work).
+type BuildReport struct {
+	N             int     // number of keys
+	S             int     // buckets / row width (the paper's s)
+	R             int     // range of g
+	M             int     // number of groups
+	Rho           int     // histogram rows
+	Rows          int     // total table rows
+	Cells         int     // total cells (space in cells)
+	HashTries     int     // (f, g, z) draws until P(S) held
+	Escalations   int     // slack escalations applied
+	FinalC        float64 // slack constant in force when P(S) held
+	PerfectTries  int     // total per-bucket perfect-hash draws
+	MaxBucketLoad int     // max_i ℓ(S, h, i)
+	MaxGroupLoad  int     // max_i ℓ(S, h′, i)
+	MaxGLoad      int     // max_i ℓ(S, g, i)
+	SumSquares    int     // Σ ℓ(S, h, i)²
+}
+
+// Dict is a built low-contention static dictionary. The query side reads
+// only table cells; the hash functions and load vectors retained here serve
+// the exact contention analyzer (ProbeSpec) and the test oracles.
+type Dict struct {
+	n       int
+	d       int
+	s       int // buckets and row width
+	r       int // range of g
+	m       int // groups
+	blkZ    int // replica block width of the z row: ⌊s/r⌋
+	blkG    int // replica block width of GBAS/histogram rows: s/m
+	rho     int
+	strided bool // paper-literal residue-class replica layout
+	compact bool // block-backed replicated rows
+
+	tab *cellprobe.Table
+
+	f, g    hash.Poly
+	z       []uint64
+	hLoads  []int    // ℓ(S, h, i) per bucket i ∈ [s]
+	offsets []int    // start of bucket i's ℓ² span in the ph/data rows
+	phA     []uint64 // per-bucket perfect hash coefficient A
+	phB     []uint64 // per-bucket perfect hash coefficient B
+
+	report BuildReport
+}
+
+// sizes derives (s, r, m) from n per §2.2.
+func sizes(n int, p Params) (s, r, m int) {
+	logn := math.Log(math.Max(float64(n), 2))
+	m = int(float64(n) / (p.Alpha * logn))
+	if m < 1 {
+		m = 1
+	}
+	r = int(math.Ceil(math.Pow(float64(n), p.Delta)))
+	if r < 1 {
+		r = 1
+	}
+	sMin := int(math.Ceil(p.Beta * float64(n)))
+	if sMin < m {
+		sMin = m
+	}
+	if sMin < r {
+		sMin = r
+	}
+	if sMin < 1 {
+		sMin = 1
+	}
+	// Round s up to a multiple of m so that h′ = h mod m is uniform over
+	// R^d_{r,m} (§2.2 requires m | s).
+	s = ((sMin + m - 1) / m) * m
+	return s, r, m
+}
+
+// Build constructs the dictionary for the given distinct keys. Keys must be
+// below hash.MaxKey. The seed determines every random choice, making builds
+// reproducible.
+func Build(keys []uint64, p Params, seed uint64) (*Dict, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if k >= hash.MaxKey {
+			return nil, fmt.Errorf("core: key %d outside universe [0, %d)", k, hash.MaxKey)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("core: duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+
+	n := len(keys)
+	s, r, m := sizes(n, p)
+	d := p.D
+	rand := rng.New(seed)
+
+	if p.Strided && p.Compact {
+		return nil, fmt.Errorf("core: compact backing requires the block layout")
+	}
+	dict := &Dict{
+		n: n, d: d, s: s, r: r, m: m,
+		blkZ: s / r, blkG: s / m,
+		strided: p.Strided,
+		compact: p.Compact,
+	}
+	if err := dict.drawHashes(keys, p, rand); err != nil {
+		return nil, err
+	}
+	if err := dict.layout(keys, p, rand); err != nil {
+		return nil, err
+	}
+	// Self-check: every key must be retrievable through the real query path.
+	check := rng.New(seed ^ 0x5eed)
+	for _, k := range keys {
+		ok, err := dict.Contains(k, check)
+		if err != nil {
+			return nil, fmt.Errorf("core: self-check query failed: %w", err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: self-check lost key %d", k)
+		}
+	}
+	return dict, nil
+}
+
+// drawHashes resamples (f, g, z) until property P(S) holds, escalating the
+// slack constant c if a slack level exhausts its budget.
+func (dict *Dict) drawHashes(keys []uint64, p Params, rand *rng.RNG) error {
+	n, s, r, m, d := dict.n, dict.s, dict.r, dict.m, dict.d
+	c := p.C
+	tries := 0
+	for esc := 0; esc <= p.MaxEscalations; esc++ {
+		for t := 0; t < p.MaxTriesPerSlack; t++ {
+			tries++
+			f := hash.NewPoly(rand, d, uint64(s))
+			g := hash.NewPoly(rand, d, uint64(r))
+			z := make([]uint64, r)
+			for i := range z {
+				z[i] = rand.Uint64n(uint64(s))
+			}
+			hEval := func(x uint64) uint64 { return (f.Eval(x) + z[g.Eval(x)]) % uint64(s) }
+
+			gLoads := hash.Loads(keys, g.Eval, r)
+			if float64(hash.MaxLoad(gLoads)) > c*float64(n)/float64(r) {
+				continue
+			}
+			hLoads := hash.Loads(keys, hEval, s)
+			hpLoads := make([]int, m)
+			for i, l := range hLoads {
+				hpLoads[i%m] += l
+			}
+			if float64(hash.MaxLoad(hpLoads)) > c*float64(n)/float64(m) {
+				continue
+			}
+			ss := hash.SumSquares(hLoads)
+			if ss > s {
+				continue
+			}
+			dict.f, dict.g, dict.z, dict.hLoads = f, g, z, hLoads
+			dict.report = BuildReport{
+				N: n, S: s, R: r, M: m,
+				HashTries: tries, Escalations: esc, FinalC: c,
+				MaxBucketLoad: hash.MaxLoad(hLoads),
+				MaxGroupLoad:  hash.MaxLoad(hpLoads),
+				MaxGLoad:      hash.MaxLoad(gLoads),
+				SumSquares:    ss,
+			}
+			return nil
+		}
+		c *= p.SlackGrowth
+	}
+	return fmt.Errorf("core: property P(S) not satisfied for n=%d after %d tries and %d escalations", n, tries, p.MaxEscalations)
+}
+
+// phSource supplies the perfect hash for one bucket's keys and span. Build
+// searches with FindPerfect; deserialization replays stored coefficients.
+type phSource func(bucket int, keys []uint64, span int) (hash.Pairwise, int, error)
+
+// layout fills the table rows from the accepted hash functions.
+func (dict *Dict) layout(keys []uint64, p Params, rand *rng.RNG) error {
+	finder := func(_ int, bucketKeys []uint64, span int) (hash.Pairwise, int, error) {
+		return hash.FindPerfect(rand, bucketKeys, uint64(span), p.PerfectMaxTries)
+	}
+	return dict.layoutWith(keys, finder)
+}
+
+// layoutWith fills the table rows, obtaining per-bucket perfect hashes from
+// the given source.
+func (dict *Dict) layoutWith(keys []uint64, ph phSource) error {
+	s, m, d := dict.s, dict.m, dict.d
+	bucketsPerGroup := s / m
+
+	// Assign keys to buckets.
+	bucketKeys := make(map[int][]uint64)
+	for _, x := range keys {
+		b := int(dict.hEval(x))
+		bucketKeys[b] = append(bucketKeys[b], x)
+	}
+
+	// Group base addresses and per-bucket offsets (buckets ordered by
+	// (group, position-in-group), spans of ℓ² cells each).
+	gbas := make([]uint64, m)
+	offsets := make([]int, s)
+	pos := 0
+	for grp := 0; grp < m; grp++ {
+		gbas[grp] = uint64(pos)
+		for k := 0; k < bucketsPerGroup; k++ {
+			b := k*m + grp
+			offsets[b] = pos
+			pos += dict.hLoads[b] * dict.hLoads[b]
+		}
+	}
+	if pos > s {
+		return fmt.Errorf("core: bucket spans need %d cells > s = %d despite FKS condition", pos, s)
+	}
+	dict.offsets = offsets
+
+	// Group histograms, and ρ from the realized maximum bit length.
+	groupWords := make([][]uint64, m)
+	maxBits := 1
+	for grp := 0; grp < m; grp++ {
+		loads := make([]int, bucketsPerGroup)
+		for k := 0; k < bucketsPerGroup; k++ {
+			loads[k] = dict.hLoads[k*m+grp]
+		}
+		v := bitvec.EncodeHistogram(loads)
+		if v.Len() > maxBits {
+			maxBits = v.Len()
+		}
+		groupWords[grp] = v.Words()
+	}
+	rho := (maxBits + 127) / 128
+	dict.rho = rho
+	rows := 2*d + 4 + rho
+	tab := cellprobe.New(rows, s)
+	dict.tab = tab
+
+	// Rows 0..2d−1: hash coefficients, replicated across the full row.
+	// Row 2d: z replicas — blocks of width ⌊s/r⌋ (leftover cells repeat
+	// z[r−1]), or the paper's residue classes when strided.
+	// Row 2d+1: GBAS replicas.
+	// Rows 2d+2 .. 2d+1+ρ: group histograms (word pair w of group grp in
+	// histogram row w).
+	histCell := func(grp, w int) cellprobe.Cell {
+		words := groupWords[grp]
+		var c cellprobe.Cell
+		if 2*w < len(words) {
+			c.Lo = words[2*w]
+		}
+		if 2*w+1 < len(words) {
+			c.Hi = words[2*w+1]
+		}
+		return c
+	}
+	if dict.compact {
+		for i := 0; i < d; i++ {
+			tab.SetBlockRow(i, []cellprobe.Cell{{Lo: dict.f.Coef[i]}}, s)
+			tab.SetBlockRow(d+i, []cellprobe.Cell{{Lo: dict.g.Coef[i]}}, s)
+		}
+		zvals := make([]cellprobe.Cell, dict.r)
+		for i, v := range dict.z {
+			zvals[i] = cellprobe.Cell{Lo: v}
+		}
+		tab.SetBlockRow(dict.zRow(), zvals, dict.blkZ)
+		gvals := make([]cellprobe.Cell, m)
+		for i, v := range gbas {
+			gvals[i] = cellprobe.Cell{Lo: v}
+		}
+		tab.SetBlockRow(dict.gbasRow(), gvals, dict.blkG)
+		for w := 0; w < rho; w++ {
+			hvals := make([]cellprobe.Cell, m)
+			for grp := 0; grp < m; grp++ {
+				hvals[grp] = histCell(grp, w)
+			}
+			tab.SetBlockRow(dict.histRow()+w, hvals, dict.blkG)
+		}
+	} else {
+		for i := 0; i < d; i++ {
+			for j := 0; j < s; j++ {
+				tab.Set(i, j, cellprobe.Cell{Lo: dict.f.Coef[i]})
+				tab.Set(d+i, j, cellprobe.Cell{Lo: dict.g.Coef[i]})
+			}
+		}
+		zRow := dict.zRow()
+		for j := 0; j < s; j++ {
+			tab.Set(zRow, j, cellprobe.Cell{Lo: dict.z[dict.zReplicaIndex(j)]})
+		}
+		gbasRow := dict.gbasRow()
+		for j := 0; j < s; j++ {
+			tab.Set(gbasRow, j, cellprobe.Cell{Lo: gbas[dict.groupReplicaIndex(j)]})
+		}
+		for w := 0; w < rho; w++ {
+			row := dict.histRow() + w
+			for j := 0; j < s; j++ {
+				tab.Set(row, j, histCell(dict.groupReplicaIndex(j), w))
+			}
+		}
+	}
+	// Last two rows: per-bucket perfect hashes and data.
+	phRow, dataRow := dict.phRow(), dict.dataRow()
+	for j := 0; j < s; j++ {
+		tab.Set(dataRow, j, cellprobe.Cell{Lo: sentinelLo})
+	}
+	dict.phA = make([]uint64, s)
+	dict.phB = make([]uint64, s)
+	perfectTries := 0
+	// Iterate buckets in index order: map iteration order would make the
+	// perfect-hash RNG consumption, and hence the build, nondeterministic.
+	for b := 0; b < s; b++ {
+		bk := bucketKeys[b]
+		if len(bk) == 0 {
+			continue
+		}
+		l := dict.hLoads[b]
+		span := l * l
+		hstar, tries, err := ph(b, bk, span)
+		perfectTries += tries
+		if err != nil {
+			return fmt.Errorf("core: bucket %d: %w", b, err)
+		}
+		dict.phA[b], dict.phB[b] = hstar.A, hstar.B
+		off := offsets[b]
+		for j := 0; j < span; j++ {
+			tab.Set(phRow, off+j, cellprobe.Cell{Lo: hstar.A, Hi: hstar.B})
+		}
+		for _, x := range bk {
+			tab.Set(dataRow, off+int(hstar.Eval(x)), cellprobe.Cell{Lo: x, Hi: occupiedTag})
+		}
+	}
+
+	dict.report.Rho = rho
+	dict.report.Rows = rows
+	dict.report.Cells = tab.Size()
+	dict.report.PerfectTries = perfectTries
+	return nil
+}
+
+// zReplicaIndex maps a z-row column to the z entry it replicates.
+func (dict *Dict) zReplicaIndex(col int) int {
+	if dict.strided {
+		return col % dict.r
+	}
+	idx := col / dict.blkZ
+	if idx >= dict.r {
+		idx = dict.r - 1
+	}
+	return idx
+}
+
+// groupReplicaIndex maps a GBAS/histogram-row column to its group.
+func (dict *Dict) groupReplicaIndex(col int) int {
+	if dict.strided {
+		return col % dict.m
+	}
+	return col / dict.blkG
+}
+
+// zReplicaCol returns the column of the k-th replica of z[idx].
+func (dict *Dict) zReplicaCol(idx, k int) int {
+	if dict.strided {
+		return idx + k*dict.r
+	}
+	return idx*dict.blkZ + k
+}
+
+// groupReplicaCol returns the column of the k-th replica of group grp.
+func (dict *Dict) groupReplicaCol(grp, k int) int {
+	if dict.strided {
+		return grp + k*dict.m
+	}
+	return grp*dict.blkG + k
+}
+
+// hEval is the builder-side h(x) = (f(x) + z_{g(x)}) mod s.
+func (dict *Dict) hEval(x uint64) uint64 {
+	return (dict.f.Eval(x) + dict.z[dict.g.Eval(x)]) % uint64(dict.s)
+}
+
+func (dict *Dict) zRow() int    { return 2 * dict.d }
+func (dict *Dict) gbasRow() int { return 2*dict.d + 1 }
+func (dict *Dict) histRow() int { return 2*dict.d + 2 }
+func (dict *Dict) phRow() int   { return 2*dict.d + 2 + dict.rho }
+func (dict *Dict) dataRow() int { return 2*dict.d + 3 + dict.rho }
+
+// N returns the number of stored keys.
+func (dict *Dict) N() int { return dict.n }
+
+// Keys returns the stored key set, read from the data row (bucket order).
+func (dict *Dict) Keys() []uint64 {
+	keys := make([]uint64, 0, dict.n)
+	row := dict.dataRow()
+	for j := 0; j < dict.s; j++ {
+		if c := dict.tab.At(row, j); c.Hi == occupiedTag {
+			keys = append(keys, c.Lo)
+		}
+	}
+	return keys
+}
+
+// Table exposes the underlying cell-probe table for contention recording.
+func (dict *Dict) Table() *cellprobe.Table { return dict.tab }
+
+// Report returns the build report.
+func (dict *Dict) Report() BuildReport { return dict.report }
+
+// MaxProbes returns the worst-case number of cell probes per query:
+// 2d coefficient probes, one z probe, one GBAS probe, ρ histogram probes,
+// one perfect-hash probe and one data probe.
+func (dict *Dict) MaxProbes() int { return 2*dict.d + dict.rho + 4 }
+
+// Name identifies the structure in experiment reports.
+func (dict *Dict) Name() string { return "lcds" }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rng"
+)
+
+// Explain runs one membership query for x with the same probes Contains
+// makes, writing a human-readable account of each step — which row was
+// probed, which replica was chosen, and what was learned. It is a debugging
+// and teaching aid; the answer and error semantics match Contains exactly.
+func (dict *Dict) Explain(x uint64, r *rng.RNG, w io.Writer) (bool, error) {
+	p := func(format string, args ...interface{}) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	p("query x = %d against n = %d keys (s = %d buckets, m = %d groups, d = %d)",
+		x, dict.n, dict.s, dict.m, dict.d)
+
+	var steps []string
+	dict.tab.SetTrace(func(step, cell int) {
+		row, col := cell/dict.s, cell%dict.s
+		name := dict.rowName(row)
+		steps = append(steps, fmt.Sprintf("  probe %2d: row %-12s col %d", step, name, col))
+	})
+	defer dict.tab.SetTrace(nil)
+
+	ok, err := dict.Contains(x, r)
+	for _, s := range steps {
+		p("%s", s)
+	}
+	if err != nil {
+		p("query failed: %v", err)
+		return ok, err
+	}
+
+	// Builder-side commentary (not probes): where the key went.
+	gx := dict.g.Eval(x)
+	h := int(dict.hEval(x))
+	hp := h % dict.m
+	l := dict.hLoads[h]
+	p("derived: g(x) = %d, h(x) = bucket %d, group %d (position %d in group)",
+		gx, h, hp, h/dict.m)
+	if l == 0 {
+		p("bucket %d is empty -> answer false without data probes", h)
+	} else {
+		p("bucket %d holds %d key(s) in cells [%d, %d) of the data row",
+			h, l, dict.offsets[h], dict.offsets[h]+l*l)
+	}
+	p("answer: %v", ok)
+	return ok, nil
+}
+
+// rowName names a table row for human-readable traces.
+func (dict *Dict) rowName(row int) string {
+	d := dict.d
+	switch {
+	case row < d:
+		return fmt.Sprintf("f-coef[%d]", row)
+	case row < 2*d:
+		return fmt.Sprintf("g-coef[%d]", row-d)
+	case row == dict.zRow():
+		return "z"
+	case row == dict.gbasRow():
+		return "GBAS"
+	case row >= dict.histRow() && row < dict.histRow()+dict.rho:
+		return fmt.Sprintf("histogram[%d]", row-dict.histRow())
+	case row == dict.phRow():
+		return "perfect-hash"
+	case row == dict.dataRow():
+		return "data"
+	}
+	return fmt.Sprintf("row[%d]", row)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestExplainPositive(t *testing.T) {
+	keys := distinctKeys(rng.New(80), 128)
+	d := mustBuild(t, keys, 81)
+	var buf bytes.Buffer
+	ok, err := d.Explain(keys[0], rng.New(82), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Explain lost a stored key")
+	}
+	out := buf.String()
+	for _, want := range []string{"f-coef[0]", "g-coef[3]", "row z", "GBAS", "histogram[0]", "perfect-hash", "data", "answer: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Probe count in the trace matches the contract.
+	if got := strings.Count(out, "probe "); got != d.MaxProbes() {
+		t.Errorf("trace has %d probes, want %d", got, d.MaxProbes())
+	}
+}
+
+func TestExplainNegativeEmptyBucket(t *testing.T) {
+	keys := distinctKeys(rng.New(83), 16)
+	d := mustBuild(t, keys, 84)
+	// Find a key hashing to an empty bucket.
+	r := rng.New(85)
+	var miss uint64
+	for {
+		x := r.Uint64n(1 << 60)
+		if d.hLoads[d.hEval(x)] == 0 {
+			miss = x
+			break
+		}
+	}
+	var buf bytes.Buffer
+	ok, err := d.Explain(miss, rng.New(86), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("phantom member")
+	}
+	if !strings.Contains(buf.String(), "empty -> answer false") {
+		t.Errorf("empty-bucket explanation missing:\n%s", buf.String())
+	}
+}
+
+func TestExplainLeavesNoTrace(t *testing.T) {
+	keys := distinctKeys(rng.New(87), 32)
+	d := mustBuild(t, keys, 88)
+	var buf bytes.Buffer
+	if _, err := d.Explain(keys[0], rng.New(89), &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The trace hook must be removed afterwards: subsequent queries work
+	// and do not append to the old buffer.
+	before := buf.Len()
+	if _, err := d.Contains(keys[1], rng.New(90)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != before {
+		t.Error("Explain left its trace hook installed")
+	}
+}

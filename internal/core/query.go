@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cellprobe"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// Contains answers the membership query for x using the paper's §2.3
+// four-phase algorithm. Every value it uses is read from table cells via
+// recorded probes; the random generator chooses which replica each probe
+// reads. It returns an error only if the table is corrupt (failure
+// injection); on a well-formed table the answer is exact.
+func (dict *Dict) Contains(x uint64, r *rng.RNG) (bool, error) {
+	tab := dict.tab
+	d, s := dict.d, dict.s
+
+	// Phase 1: read the 2d coefficient cells (one random replica each),
+	// reconstruct f and g, then read z_{g(x)} from a random copy.
+	fc := make([]uint64, d)
+	gc := make([]uint64, d)
+	for i := 0; i < d; i++ {
+		fc[i] = tab.Probe(i, i, r.Intn(s)).Lo
+		gc[i] = tab.Probe(d+i, d+i, r.Intn(s)).Lo
+	}
+	f := hash.PolyFromCoef(fc, uint64(s))
+	g := hash.PolyFromCoef(gc, uint64(dict.r))
+	gx := int(g.Eval(x))
+	zv := tab.Probe(2*d, dict.zRow(), dict.zReplicaCol(gx, r.Intn(dict.blkZ))).Lo
+	if zv >= uint64(s) {
+		return false, fmt.Errorf("core: z value %d out of range %d", zv, s)
+	}
+	h := int((f.Eval(x) + zv) % uint64(s))
+	hp := h % dict.m
+	posInGroup := h / dict.m
+
+	// Phase 2: group base address and the group histogram.
+	step := 2*d + 1
+	gbas := tab.Probe(step, dict.gbasRow(), dict.groupReplicaCol(hp, r.Intn(dict.blkG))).Lo
+	if gbas > uint64(s) {
+		return false, fmt.Errorf("core: group base address %d out of range %d", gbas, s)
+	}
+	words := make([]uint64, 2*dict.rho)
+	for w := 0; w < dict.rho; w++ {
+		step++
+		c := tab.Probe(step, dict.histRow()+w, dict.groupReplicaCol(hp, r.Intn(dict.blkG)))
+		words[2*w], words[2*w+1] = c.Lo, c.Hi
+	}
+	loads, err := bitvec.DecodeHistogramPrefix(bitvec.FromWords(words, dict.rho*128), posInGroup+1)
+	if err != nil {
+		return false, fmt.Errorf("core: corrupt group histogram for group %d: %w", hp, err)
+	}
+
+	// Phase 3: locate the bucket's ℓ² cell span.
+	off := int(gbas)
+	for k := 0; k < posInGroup; k++ {
+		off += loads[k] * loads[k]
+	}
+	l := loads[posInGroup]
+	if l == 0 {
+		return false, nil // empty bucket: the key cannot be present
+	}
+	span := l * l
+	if off+span > s {
+		return false, fmt.Errorf("core: bucket span [%d,%d) exceeds s = %d", off, off+span, s)
+	}
+
+	// Phase 4: perfect hash from a random cell of the span, then the data cell.
+	step++
+	phc := tab.Probe(step, dict.phRow(), off+r.Intn(span))
+	hstar := hash.Pairwise{A: phc.Lo, B: phc.Hi, M: uint64(span)}
+	step++
+	dc := tab.Probe(step, dict.dataRow(), off+int(hstar.Eval(x)))
+	return dc.Hi == occupiedTag && dc.Lo == x, nil
+}
+
+// ProbeSpec returns the exact per-step probe distribution P_t(x, ·) of the
+// query algorithm for input x on this table — the row of the paper's probe
+// matrices (§1.1). It is computed from builder-side knowledge and is exact
+// because every query step probes a uniformly random replica of a range
+// determined by x and the table.
+func (dict *Dict) ProbeSpec(x uint64) cellprobe.ProbeSpec {
+	if dict.strided {
+		panic("core: ProbeSpec requires the block replica layout; strided dictionaries support Monte-Carlo contention measurement only")
+	}
+	d, s := dict.d, dict.s
+	tab := dict.tab
+	spec := make(cellprobe.ProbeSpec, 0, dict.MaxProbes())
+
+	// Coefficient probes: uniform over each coefficient row.
+	for i := 0; i < 2*d; i++ {
+		spec = append(spec, cellprobe.UniformSpan(tab.Index(i, 0), s, 1))
+	}
+	// z probe: uniform over the block of g(x).
+	gx := int(dict.g.Eval(x))
+	spec = append(spec, cellprobe.UniformSpan(tab.Index(dict.zRow(), gx*dict.blkZ), dict.blkZ, 1))
+	// GBAS and histogram probes: uniform over the group block.
+	h := int(dict.hEval(x))
+	hp := h % dict.m
+	spec = append(spec, cellprobe.UniformSpan(tab.Index(dict.gbasRow(), hp*dict.blkG), dict.blkG, 1))
+	for w := 0; w < dict.rho; w++ {
+		spec = append(spec, cellprobe.UniformSpan(tab.Index(dict.histRow()+w, hp*dict.blkG), dict.blkG, 1))
+	}
+	// Perfect-hash and data probes: only for non-empty buckets.
+	l := dict.hLoads[h]
+	if l == 0 {
+		spec = append(spec, cellprobe.StepSpec{}, cellprobe.StepSpec{})
+		return spec
+	}
+	off := dict.offsets[h]
+	span := l * l
+	spec = append(spec, cellprobe.UniformSpan(tab.Index(dict.phRow(), off), span, 1))
+	hstar := hash.Pairwise{A: dict.phA[h], B: dict.phB[h], M: uint64(span)}
+	spec = append(spec, cellprobe.PointSpan(tab.Index(dict.dataRow(), off+int(hstar.Eval(x))), 1))
+	return spec
+}

@@ -1,0 +1,276 @@
+// Package dist models query distributions q over the key universe (§1.1).
+//
+// The paper's positive results assume q is uniform within the positive set S
+// and uniform within the negative set U∖S (§2); its lower bound is about
+// arbitrary q (§3). This package provides both families plus skewed
+// distributions (Zipf, point mass) used to demonstrate how baselines degrade.
+//
+// A distribution can always be sampled; distributions with small explicit
+// support additionally expose it for exact contention computation, and
+// unbounded ones are approximated by Monte-Carlo support sampling.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Weighted is a support point: key x with probability P.
+type Weighted struct {
+	Key uint64
+	P   float64
+}
+
+// Dist is a query distribution over uint64 keys.
+type Dist interface {
+	// Sample draws one query key.
+	Sample(r *rng.RNG) uint64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Supporter is implemented by distributions whose support can be enumerated
+// exactly (used for exact contention computation).
+type Supporter interface {
+	Support() []Weighted
+}
+
+// Support returns an exact support if d implements Supporter, and otherwise
+// a Monte-Carlo support of k samples with weight 1/k each.
+func Support(d Dist, k int, r *rng.RNG) []Weighted {
+	if s, ok := d.(Supporter); ok {
+		return s.Support()
+	}
+	w := 1.0 / float64(k)
+	out := make([]Weighted, k)
+	for i := range out {
+		out[i] = Weighted{Key: d.Sample(r), P: w}
+	}
+	return out
+}
+
+// UniformSet is the uniform distribution over a fixed non-empty key set —
+// the paper's "uniform positive queries" when the set is S.
+type UniformSet struct {
+	Keys  []uint64
+	Label string
+}
+
+// NewUniformSet builds a uniform distribution over keys. It panics on an
+// empty set.
+func NewUniformSet(keys []uint64, label string) *UniformSet {
+	if len(keys) == 0 {
+		panic("dist: UniformSet over empty set")
+	}
+	return &UniformSet{Keys: keys, Label: label}
+}
+
+func (u *UniformSet) Sample(r *rng.RNG) uint64 { return u.Keys[r.Intn(len(u.Keys))] }
+
+func (u *UniformSet) Name() string {
+	if u.Label != "" {
+		return u.Label
+	}
+	return fmt.Sprintf("uniform-set(%d)", len(u.Keys))
+}
+
+// Support enumerates the set with equal weights.
+func (u *UniformSet) Support() []Weighted {
+	w := 1.0 / float64(len(u.Keys))
+	out := make([]Weighted, len(u.Keys))
+	for i, k := range u.Keys {
+		out[i] = Weighted{Key: k, P: w}
+	}
+	return out
+}
+
+// UniformComplement is the uniform distribution over [0, N) ∖ S — the
+// paper's "uniform negative queries". Sampling is by rejection, which is
+// efficient because every use here has N ≥ 2|S|.
+type UniformComplement struct {
+	N       uint64
+	Exclude map[uint64]bool
+}
+
+// NewUniformComplement builds the uniform distribution over [0,N) minus the
+// excluded keys. It panics if the complement is empty.
+func NewUniformComplement(n uint64, exclude []uint64) *UniformComplement {
+	m := make(map[uint64]bool, len(exclude))
+	for _, k := range exclude {
+		if k < n {
+			m[k] = true
+		}
+	}
+	if uint64(len(m)) >= n {
+		panic("dist: empty complement")
+	}
+	return &UniformComplement{N: n, Exclude: m}
+}
+
+func (u *UniformComplement) Sample(r *rng.RNG) uint64 {
+	for {
+		x := r.Uint64n(u.N)
+		if !u.Exclude[x] {
+			return x
+		}
+	}
+}
+
+func (u *UniformComplement) Name() string {
+	return fmt.Sprintf("uniform-negative(N=%d)", u.N)
+}
+
+// Mixture draws from component i with probability Weights[i].
+type Mixture struct {
+	Components []Dist
+	Weights    []float64
+	cum        []float64
+	Label      string
+}
+
+// NewMixture builds a mixture. Weights must be non-negative and sum to a
+// positive value; they are normalized.
+func NewMixture(components []Dist, weights []float64, label string) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic("dist: mixture components/weights mismatch")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("dist: negative mixture weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: zero total mixture weight")
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1.0
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return &Mixture{Components: components, Weights: norm, cum: cum, Label: label}
+}
+
+func (m *Mixture) Sample(r *rng.RNG) uint64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.Components) {
+		i = len(m.Components) - 1
+	}
+	return m.Components[i].Sample(r)
+}
+
+func (m *Mixture) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return fmt.Sprintf("mixture(%d)", len(m.Components))
+}
+
+// Support enumerates the mixture support when every component is a
+// Supporter; it merges duplicate keys.
+func (m *Mixture) Support() []Weighted {
+	merged := map[uint64]float64{}
+	for i, c := range m.Components {
+		s, ok := c.(Supporter)
+		if !ok {
+			return nil
+		}
+		for _, w := range s.Support() {
+			merged[w.Key] += w.P * m.Weights[i]
+		}
+	}
+	out := make([]Weighted, 0, len(merged))
+	for k, p := range merged {
+		out = append(out, Weighted{Key: k, P: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// PosNeg is the paper's §2 query class: with probability posWeight a uniform
+// positive query (member of S), otherwise a uniform negative query.
+func PosNeg(S []uint64, universe uint64, posWeight float64) *Mixture {
+	return NewMixture(
+		[]Dist{NewUniformSet(S, "uniform-positive"), NewUniformComplement(universe, S)},
+		[]float64{posWeight, 1 - posWeight},
+		fmt.Sprintf("posneg(%.2f)", posWeight),
+	)
+}
+
+// Zipf is a Zipf distribution over an explicit key list: key i (0-based) has
+// probability proportional to 1/(i+1)^Exponent. It models the skewed query
+// distributions under which §1.3 notes baseline contention becomes
+// arbitrarily bad.
+type Zipf struct {
+	Keys     []uint64
+	Exponent float64
+	cum      []float64
+}
+
+// NewZipf builds a Zipf distribution over keys with the given exponent ≥ 0.
+func NewZipf(keys []uint64, exponent float64) *Zipf {
+	if len(keys) == 0 {
+		panic("dist: Zipf over empty set")
+	}
+	if exponent < 0 || math.IsNaN(exponent) {
+		panic("dist: negative Zipf exponent")
+	}
+	cum := make([]float64, len(keys))
+	acc := 0.0
+	for i := range keys {
+		acc += math.Pow(float64(i+1), -exponent)
+		cum[i] = acc
+	}
+	for i := range cum {
+		cum[i] /= acc
+	}
+	cum[len(cum)-1] = 1.0
+	return &Zipf{Keys: keys, Exponent: exponent, cum: cum}
+}
+
+func (z *Zipf) Sample(r *rng.RNG) uint64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.Keys) {
+		i = len(z.Keys) - 1
+	}
+	return z.Keys[i]
+}
+
+func (z *Zipf) Name() string {
+	return fmt.Sprintf("zipf(%.2f,%d)", z.Exponent, len(z.Keys))
+}
+
+// Support enumerates the Zipf support exactly.
+func (z *Zipf) Support() []Weighted {
+	out := make([]Weighted, len(z.Keys))
+	prev := 0.0
+	for i, k := range z.Keys {
+		out[i] = Weighted{Key: k, P: z.cum[i] - prev}
+		prev = z.cum[i]
+	}
+	return out
+}
+
+// PointMass always returns Key — the most adversarial q for any scheme whose
+// probe distribution for a single input is concentrated.
+type PointMass struct {
+	Key uint64
+}
+
+func (p PointMass) Sample(*rng.RNG) uint64 { return p.Key }
+func (p PointMass) Name() string           { return fmt.Sprintf("point(%d)", p.Key) }
+
+// Support is the single key with probability 1.
+func (p PointMass) Support() []Weighted { return []Weighted{{Key: p.Key, P: 1}} }

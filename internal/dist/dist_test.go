@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestUniformSetSampleAndSupport(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40}
+	u := NewUniformSet(keys, "")
+	r := rng.New(1)
+	counts := map[uint64]int{}
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[u.Sample(r)]++
+	}
+	for _, k := range keys {
+		got := float64(counts[k]) / trials
+		if math.Abs(got-0.25) > 0.02 {
+			t.Errorf("key %d frequency %.3f, want 0.25", k, got)
+		}
+	}
+	sup := u.Support()
+	if len(sup) != 4 {
+		t.Fatalf("support size %d", len(sup))
+	}
+	total := 0.0
+	for _, w := range sup {
+		total += w.P
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("support mass %v", total)
+	}
+}
+
+func TestUniformSetPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty UniformSet did not panic")
+		}
+	}()
+	NewUniformSet(nil, "")
+}
+
+func TestUniformComplementExcludes(t *testing.T) {
+	exclude := []uint64{0, 1, 2, 3, 4}
+	u := NewUniformComplement(10, exclude)
+	r := rng.New(2)
+	counts := map[uint64]int{}
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		x := u.Sample(r)
+		if x >= 10 {
+			t.Fatalf("sample %d outside universe", x)
+		}
+		for _, e := range exclude {
+			if x == e {
+				t.Fatalf("sampled excluded key %d", x)
+			}
+		}
+		counts[x]++
+	}
+	for k := uint64(5); k < 10; k++ {
+		got := float64(counts[k]) / trials
+		if math.Abs(got-0.2) > 0.02 {
+			t.Errorf("key %d frequency %.3f, want 0.2", k, got)
+		}
+	}
+}
+
+func TestUniformComplementPanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty complement did not panic")
+		}
+	}()
+	NewUniformComplement(3, []uint64{0, 1, 2})
+}
+
+func TestMixtureWeights(t *testing.T) {
+	a := PointMass{Key: 1}
+	b := PointMass{Key: 2}
+	m := NewMixture([]Dist{a, b}, []float64{3, 1}, "")
+	r := rng.New(3)
+	count1 := 0
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		if m.Sample(r) == 1 {
+			count1++
+		}
+	}
+	if got := float64(count1) / trials; math.Abs(got-0.75) > 0.02 {
+		t.Errorf("component 1 frequency %.3f, want 0.75", got)
+	}
+}
+
+func TestMixtureSupportMerges(t *testing.T) {
+	a := NewUniformSet([]uint64{1, 2}, "")
+	b := NewUniformSet([]uint64{2, 3}, "")
+	m := NewMixture([]Dist{a, b}, []float64{0.5, 0.5}, "")
+	sup := m.Support()
+	want := map[uint64]float64{1: 0.25, 2: 0.5, 3: 0.25}
+	if len(sup) != 3 {
+		t.Fatalf("support %v", sup)
+	}
+	for _, w := range sup {
+		if math.Abs(w.P-want[w.Key]) > 1e-12 {
+			t.Errorf("key %d weight %v, want %v", w.Key, w.P, want[w.Key])
+		}
+	}
+}
+
+func TestMixtureSupportNilForUnbounded(t *testing.T) {
+	m := NewMixture(
+		[]Dist{PointMass{Key: 1}, NewUniformComplement(100, nil)},
+		[]float64{0.5, 0.5}, "")
+	if m.Support() != nil {
+		t.Error("mixture with unbounded component returned a support")
+	}
+}
+
+func TestPosNegSamplesBothSides(t *testing.T) {
+	S := []uint64{100, 200, 300}
+	q := PosNeg(S, 1000, 0.5)
+	inS := map[uint64]bool{100: true, 200: true, 300: true}
+	r := rng.New(4)
+	pos := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if inS[q.Sample(r)] {
+			pos++
+		}
+	}
+	if got := float64(pos) / trials; math.Abs(got-0.5) > 0.02 {
+		t.Errorf("positive fraction %.3f, want 0.5", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	keys := []uint64{7, 8, 9, 10}
+	z := NewZipf(keys, 1.0)
+	// Weights proportional to 1, 1/2, 1/3, 1/4; normalizer 25/12.
+	sup := z.Support()
+	norm := 1.0 + 0.5 + 1.0/3 + 0.25
+	for i, w := range sup {
+		want := (1.0 / float64(i+1)) / norm
+		if math.Abs(w.P-want) > 1e-12 {
+			t.Errorf("rank %d weight %v, want %v", i, w.P, want)
+		}
+	}
+	r := rng.New(5)
+	counts := map[uint64]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[7] <= counts[10] {
+		t.Errorf("Zipf not skewed: counts %v", counts)
+	}
+	got := float64(counts[7]) / trials
+	if math.Abs(got-1/norm) > 0.02 {
+		t.Errorf("top key frequency %.3f, want %.3f", got, 1/norm)
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	z := NewZipf([]uint64{1, 2, 3, 4, 5}, 0)
+	for _, w := range z.Support() {
+		if math.Abs(w.P-0.2) > 1e-12 {
+			t.Errorf("weight %v, want 0.2", w.P)
+		}
+	}
+}
+
+func TestPointMass(t *testing.T) {
+	p := PointMass{Key: 77}
+	r := rng.New(6)
+	for i := 0; i < 10; i++ {
+		if p.Sample(r) != 77 {
+			t.Fatal("PointMass sampled a different key")
+		}
+	}
+	sup := p.Support()
+	if len(sup) != 1 || sup[0].Key != 77 || sup[0].P != 1 {
+		t.Errorf("support = %v", sup)
+	}
+}
+
+func TestSupportFallsBackToSampling(t *testing.T) {
+	u := NewUniformComplement(1000, []uint64{1})
+	r := rng.New(7)
+	sup := Support(u, 50, r)
+	if len(sup) != 50 {
+		t.Fatalf("sampled support size %d", len(sup))
+	}
+	total := 0.0
+	for _, w := range sup {
+		total += w.P
+		if w.Key == 1 || w.Key >= 1000 {
+			t.Errorf("invalid sampled key %d", w.Key)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("sampled support mass %v", total)
+	}
+}
+
+func TestSupportPrefersExact(t *testing.T) {
+	u := NewUniformSet([]uint64{5, 6}, "")
+	sup := Support(u, 999, rng.New(8))
+	if len(sup) != 2 {
+		t.Errorf("exact support not used: %v", sup)
+	}
+}
+
+func TestDistNames(t *testing.T) {
+	if NewUniformSet([]uint64{1}, "custom").Name() != "custom" {
+		t.Error("label not used")
+	}
+	names := []string{
+		NewUniformSet([]uint64{1}, "").Name(),
+		NewUniformComplement(10, nil).Name(),
+		NewZipf([]uint64{1}, 1).Name(),
+		PointMass{Key: 3}.Name(),
+		PosNeg([]uint64{1}, 10, 0.5).Name(),
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate name %q in %v", n, names)
+		}
+		seen[n] = true
+	}
+}

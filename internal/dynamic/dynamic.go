@@ -1,0 +1,316 @@
+// Package dynamic extends the static low-contention dictionary to support
+// insertions and deletions — the direction the paper's §4 names as future
+// work ("study the contention caused by the updates in dynamic data
+// structures").
+//
+// The design is global rebuilding over the Theorem 3 structure:
+//
+//   - a static core.Dict holds a snapshot S₀;
+//   - a small open-addressing buffer (its own cell-probe table, with
+//     replicated hash parameters) absorbs updates: inserted keys, and
+//     tombstones for deleted snapshot keys;
+//   - queries check the buffer (expected O(1) probes at the buffer's tiny
+//     load factor), then fall through to the static structure;
+//   - when the buffer holds ε·n entries the whole dictionary is rebuilt
+//     from the current key set, giving amortized O(1/ε) work per update
+//     on top of the static O(n) construction.
+//
+// Read contention stays within a constant of the static dictionary's: the
+// buffer's parameter row is replicated and its slot probes are spread by
+// hashing. Update contention is the interesting quantity the paper asks
+// about — every writer must touch the buffer's occupancy region, and the
+// package counts read and write probes separately (Stats.ReadProbes,
+// Stats.WriteProbes) so experiment X1 can quantify exactly that.
+package dynamic
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cellprobe"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// Slot tags in the buffer table (cell.Hi).
+const (
+	slotEmpty    = uint64(0)
+	slotInserted = uint64(1)
+	slotDeleted  = uint64(2) // tombstone for a snapshot key
+	slotVacated  = uint64(3) // removed buffer entry; keeps probe chains intact
+)
+
+const (
+	bufParamRow = 0
+	bufSlotRow  = 1
+	bufRows     = 2
+)
+
+// Params configures the dynamic dictionary.
+type Params struct {
+	// Epsilon is the buffer fraction: a rebuild triggers after
+	// ⌈Epsilon·max(n,1)⌉ buffered updates. Must be in (0, 1]. Default 0.25.
+	Epsilon float64
+	// Static configures the underlying static construction.
+	Static core.Params
+}
+
+// Stats describes the dictionary's dynamic behaviour.
+type Stats struct {
+	Len             int    // current number of keys
+	Epoch           int    // rebuilds performed
+	SnapshotN       int    // keys in the current static snapshot
+	Buffered        int    // live buffer entries (inserts + tombstones)
+	BufferSlots     int    // buffer slot capacity
+	RebuildKeys     int    // total keys across all rebuilds (amortization numerator)
+	Updates         int    // total Insert/Delete calls that changed state
+	ReadProbes      uint64 // probes issued by Contains (static probes counted at MaxProbes)
+	WriteProbes     uint64 // probes and writes issued by Insert/Delete
+	RebuildCells    int    // cells written by the last rebuild
+	StaticHashTries int    // hash draws of the last rebuild
+}
+
+// Dict is a dynamic low-contention dictionary. It is not safe for
+// concurrent mutation; concurrent readers are safe between updates.
+type Dict struct {
+	p       Params
+	seed    uint64
+	epoch   int
+	base    *core.Dict
+	members map[uint64]bool // current key set (oracle for rebuilds)
+
+	buf       *cellprobe.Table
+	bufHash   hash.Pairwise
+	bufWidth  int
+	buffered  int // occupied (non-vacated) entries
+	occupied  int // slots not empty (including vacated) — drives rebuild
+	threshold int
+
+	// Probe counters are atomic: reads may run concurrently with each
+	// other (and with Stats), though not with updates.
+	readProbes  atomic.Uint64
+	writeProbes atomic.Uint64
+
+	stats Stats
+}
+
+// New builds a dynamic dictionary over the initial keys.
+func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
+	if p.Epsilon == 0 {
+		p.Epsilon = 0.25
+	}
+	if p.Epsilon < 0 || p.Epsilon > 1 {
+		return nil, fmt.Errorf("dynamic: epsilon %v outside (0, 1]", p.Epsilon)
+	}
+	d := &Dict{p: p, seed: seed, members: make(map[uint64]bool, len(initial))}
+	for _, k := range initial {
+		if k >= hash.MaxKey {
+			return nil, fmt.Errorf("dynamic: key %d outside universe", k)
+		}
+		if d.members[k] {
+			return nil, fmt.Errorf("dynamic: duplicate key %d", k)
+		}
+		d.members[k] = true
+	}
+	if err := d.rebuild(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// rebuild reconstructs the static snapshot and an empty buffer from the
+// current member set.
+func (d *Dict) rebuild() error {
+	keys := make([]uint64, 0, len(d.members))
+	for k := range d.members {
+		keys = append(keys, k)
+	}
+	d.epoch++
+	base, err := core.Build(keys, d.p.Static, d.seed+uint64(d.epoch))
+	if err != nil {
+		return fmt.Errorf("dynamic: rebuild %d: %w", d.epoch, err)
+	}
+	d.base = base
+
+	n := len(keys)
+	d.threshold = int(d.p.Epsilon * float64(max(n, 1)))
+	if d.threshold < 1 {
+		d.threshold = 1
+	}
+	// Slot capacity 4× the threshold keeps the load factor ≤ 1/4 so probe
+	// chains stay O(1) in expectation.
+	d.bufWidth = 4 * d.threshold
+	if d.bufWidth < 8 {
+		d.bufWidth = 8
+	}
+	d.buf = cellprobe.New(bufRows, d.bufWidth)
+	r := rng.New(d.seed ^ uint64(d.epoch)<<32)
+	d.bufHash = hash.NewPairwise(r, uint64(d.bufWidth))
+	params := cellprobe.Cell{Lo: d.bufHash.A, Hi: d.bufHash.B}
+	for j := 0; j < d.bufWidth; j++ {
+		d.buf.Set(bufParamRow, j, params)
+	}
+	d.buffered = 0
+	d.occupied = 0
+
+	d.stats.Epoch = d.epoch
+	d.stats.SnapshotN = n
+	d.stats.RebuildKeys += n
+	d.stats.RebuildCells = base.Table().Size() + d.buf.Size()
+	d.stats.StaticHashTries = base.Report().HashTries
+	return nil
+}
+
+// bufferFind walks the probe chain for x. It returns the slot holding x
+// (found=true) or the first empty slot (found=false). Probes are recorded
+// at steps 1, 2, ... on the buffer table; callers already probed the
+// parameter row at step 0.
+func (d *Dict) bufferFind(x uint64, h hash.Pairwise) (slot int, tag uint64, found bool, probes uint64, err error) {
+	p := int(h.Eval(x))
+	for step := 1; step <= d.bufWidth+1; step++ {
+		c := d.buf.Probe(step, bufSlotRow, p)
+		probes++
+		switch {
+		case c.Hi == slotEmpty:
+			return p, slotEmpty, false, probes, nil
+		case c.Lo == x && c.Hi != slotVacated:
+			return p, c.Hi, true, probes, nil
+		}
+		p = (p + 1) % d.bufWidth
+	}
+	return 0, 0, false, probes, fmt.Errorf("dynamic: buffer scan wrapped (corrupt table?)")
+}
+
+// readBufParams probes a random replica of the buffer parameter row.
+func (d *Dict) readBufParams(r *rng.RNG) (hash.Pairwise, error) {
+	c := d.buf.Probe(0, bufParamRow, r.Intn(d.bufWidth))
+	h := hash.Pairwise{A: c.Lo, B: c.Hi, M: uint64(d.bufWidth)}
+	return h, nil
+}
+
+// Contains answers membership for x through recorded probes on both the
+// buffer and the static tables.
+func (d *Dict) Contains(x uint64, r *rng.RNG) (bool, error) {
+	h, err := d.readBufParams(r)
+	if err != nil {
+		return false, err
+	}
+	_, tag, found, probes, err := d.bufferFind(x, h)
+	if err != nil {
+		return false, err
+	}
+	d.readProbes.Add(probes + 1) // chain + the parameter probe
+	if found {
+		switch tag {
+		case slotInserted:
+			return true, nil
+		case slotDeleted:
+			return false, nil
+		}
+	}
+	d.readProbes.Add(uint64(d.base.MaxProbes()))
+	return d.base.Contains(x, r)
+}
+
+// Insert adds x. It reports whether the dictionary changed, and rebuilds if
+// the buffer is full.
+func (d *Dict) Insert(x uint64) (bool, error) {
+	if x >= hash.MaxKey {
+		return false, fmt.Errorf("dynamic: key %d outside universe", x)
+	}
+	if d.members[x] {
+		return false, nil
+	}
+	r := rng.New(d.seed ^ x)
+	h, err := d.readBufParams(r)
+	if err != nil {
+		return false, err
+	}
+	slot, tag, found, probes, err := d.bufferFind(x, h)
+	if err != nil {
+		return false, err
+	}
+	d.writeProbes.Add(probes + 2) // chain + parameter probe + slot write
+	d.members[x] = true
+	d.stats.Updates++
+	if found && tag == slotDeleted {
+		// Re-inserting a snapshot key that was tombstoned: drop the
+		// tombstone; the static structure already holds it.
+		d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotVacated})
+		d.buffered--
+		return true, nil
+	}
+	d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotInserted})
+	d.buffered++
+	d.occupied++
+	if d.occupied >= d.threshold {
+		return true, d.rebuild()
+	}
+	return true, nil
+}
+
+// Delete removes x. It reports whether the dictionary changed.
+func (d *Dict) Delete(x uint64) (bool, error) {
+	if !d.members[x] {
+		return false, nil
+	}
+	r := rng.New(d.seed ^ x ^ 0xdead)
+	h, err := d.readBufParams(r)
+	if err != nil {
+		return false, err
+	}
+	slot, tag, found, probes, err := d.bufferFind(x, h)
+	if err != nil {
+		return false, err
+	}
+	d.writeProbes.Add(probes + 2) // chain + parameter probe + slot write
+	delete(d.members, x)
+	d.stats.Updates++
+	if found && tag == slotInserted {
+		// The key only ever lived in the buffer.
+		d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotVacated})
+		d.buffered--
+		return true, nil
+	}
+	// Tombstone a snapshot key.
+	d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotDeleted})
+	d.buffered++
+	d.occupied++
+	if d.occupied >= d.threshold {
+		return true, d.rebuild()
+	}
+	return true, nil
+}
+
+// Len returns the current number of keys.
+func (d *Dict) Len() int { return len(d.members) }
+
+// Stats returns a snapshot of the dynamic statistics.
+func (d *Dict) Stats() Stats {
+	s := d.stats
+	s.Len = len(d.members)
+	s.Buffered = d.buffered
+	s.BufferSlots = d.bufWidth
+	s.ReadProbes = d.readProbes.Load()
+	s.WriteProbes = d.writeProbes.Load()
+	return s
+}
+
+// BaseTable exposes the static snapshot's table (for contention recording).
+func (d *Dict) BaseTable() *cellprobe.Table { return d.base.Table() }
+
+// BufferTable exposes the update buffer's table.
+func (d *Dict) BufferTable() *cellprobe.Table { return d.buf }
+
+// MaxReadProbes bounds the probes of one Contains call in the common case
+// (buffer chain of length 1): one parameter probe, one slot probe, plus the
+// static dictionary's probes. Longer chains add one probe each.
+func (d *Dict) MaxReadProbes() int { return 2 + d.base.MaxProbes() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

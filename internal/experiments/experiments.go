@@ -1,0 +1,302 @@
+// Package experiments drives the evaluation suite of DESIGN.md §3: one
+// experiment per quantitative claim of the paper, each rendering a text
+// table comparing the theoretical prediction with the measured value.
+//
+// Experiments are identified as T1–T5 (tables) and F1–F4 (figure-style
+// series); Run dispatches on the identifier and All runs everything. Every
+// experiment is deterministic given Config.Seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/baseline"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table, the
+// format EXPERIMENTS.md embeds.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		return err
+	}
+	if err := row(t.Columns); err != nil {
+		return err
+	}
+	dashes := make([]string, len(t.Columns))
+	for i := range dashes {
+		dashes[i] = "---"
+	}
+	if err := row(dashes); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n*%s*\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Config controls experiment scale. Zero values select defaults.
+type Config struct {
+	Seed    uint64
+	Sizes   []int // n sweep for growth experiments
+	FixedN  int   // n for single-size experiments (T3, F1, F2)
+	Queries int   // Monte-Carlo query count where sampling is used
+	Procs   []int // processor counts for F2
+	Trials  int   // repetition count for rate experiments (T4, T5)
+}
+
+// Default returns the full-scale configuration used by the CLI and benches.
+func Default() Config {
+	return Config{
+		Seed:    20100613, // SPAA'10 presentation date
+		Sizes:   []int{512, 1024, 2048, 4096, 8192, 16384, 32768},
+		FixedN:  8192,
+		Queries: 200000,
+		Procs:   []int{1, 4, 16, 64, 256, 1024, 4096, 16384},
+		Trials:  40,
+	}
+}
+
+// Quick returns a reduced configuration for tests.
+func Quick() Config {
+	return Config{
+		Seed:    7,
+		Sizes:   []int{256, 512, 1024},
+		FixedN:  1024,
+		Queries: 20000,
+		Procs:   []int{1, 8, 64},
+		Trials:  10,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = d.Sizes
+	}
+	if c.FixedN == 0 {
+		c.FixedN = d.FixedN
+	}
+	if c.Queries == 0 {
+		c.Queries = d.Queries
+	}
+	if len(c.Procs) == 0 {
+		c.Procs = d.Procs
+	}
+	if c.Trials == 0 {
+		c.Trials = d.Trials
+	}
+	return c
+}
+
+// Keys generates n distinct universe keys deterministically from seed.
+func Keys(n int, seed uint64) []uint64 {
+	r := rng.New(seed)
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := r.Uint64n(hash.MaxKey)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// BuildAll constructs the full structure roster over one key set:
+// the low-contention dictionary plus every baseline.
+func BuildAll(keys []uint64, seed uint64) ([]contention.Structure, error) {
+	lc, err := core.Build(keys, core.Params{}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("lcds: %w", err)
+	}
+	fks, err := baseline.BuildFKS(keys, false, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fks: %w", err)
+	}
+	fksRep, err := baseline.BuildFKS(keys, true, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fks+rep: %w", err)
+	}
+	dm, err := baseline.BuildDM(keys, seed)
+	if err != nil {
+		return nil, fmt.Errorf("dm: %w", err)
+	}
+	ck, err := baseline.BuildCuckoo(keys, false, seed)
+	if err != nil {
+		return nil, fmt.Errorf("cuckoo: %w", err)
+	}
+	ckRep, err := baseline.BuildCuckoo(keys, true, seed)
+	if err != nil {
+		return nil, fmt.Errorf("cuckoo+rep: %w", err)
+	}
+	bs, err := baseline.BuildBinarySearch(keys, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bsearch: %w", err)
+	}
+	lp, err := baseline.BuildLinearProbing(keys, true, seed)
+	if err != nil {
+		return nil, fmt.Errorf("linear+rep: %w", err)
+	}
+	ch, err := baseline.BuildChained(keys, true, seed)
+	if err != nil {
+		return nil, fmt.Errorf("chained+rep: %w", err)
+	}
+	rbs, err := baseline.BuildReplicatedBinarySearch(keys, 8, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bsearch+rep: %w", err)
+	}
+	bl, err := baseline.BuildBloom(keys, 10, true, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bloom+rep: %w", err)
+	}
+	return []contention.Structure{lc, fks, fksRep, dm, ck, ckRep, bs, lp, ch, rbs, bl}, nil
+}
+
+// ComparisonSet is the replicated-parameter roster T2/F1/F2 focus on — the
+// §1.3 comparison where each baseline is given its best (redundant) storage.
+func ComparisonSet(keys []uint64, seed uint64) ([]contention.Structure, error) {
+	all, err := BuildAll(keys, seed)
+	if err != nil {
+		return nil, err
+	}
+	keep := map[string]bool{"lcds": true, "fks+rep": true, "dm": true, "cuckoo+rep": true, "bsearch": true, "linear+rep": true}
+	var out []contention.Structure
+	for _, st := range all {
+		if keep[st.Name()] {
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}
+
+// IDs lists every experiment identifier in order: the paper-claim
+// experiments T1–T5 and F1–F4, the future-work extension X1, and the
+// ablations A1–A3.
+func IDs() []string {
+	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "X1", "X2", "W1", "P1", "A1", "A2", "A3", "A4", "A5", "A6"}
+}
+
+// Run executes one experiment by identifier.
+func Run(id string, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	switch strings.ToUpper(id) {
+	case "T1":
+		return T1(cfg)
+	case "T2":
+		return T2(cfg)
+	case "T3":
+		return T3(cfg)
+	case "T4":
+		return T4(cfg)
+	case "T5":
+		return T5(cfg)
+	case "T6":
+		return T6(cfg)
+	case "T7":
+		return T7(cfg)
+	case "F1":
+		return F1(cfg)
+	case "F2":
+		return F2(cfg)
+	case "F3":
+		return F3(cfg)
+	case "F4":
+		return F4(cfg)
+	case "F5":
+		return F5(cfg)
+	case "X1":
+		return X1(cfg)
+	case "X2":
+		return X2(cfg)
+	case "A1":
+		return A1(cfg)
+	case "A2":
+		return A2(cfg)
+	case "A3":
+		return A3(cfg)
+	case "A4":
+		return A4(cfg)
+	case "A5":
+		return A5(cfg)
+	case "A6":
+		return A6(cfg)
+	case "W1":
+		return W1(cfg)
+	case "P1":
+		return P1(cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// All executes every experiment in order.
+func All(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Run(id, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2s(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3s(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int) string       { return fmt.Sprintf("%d", v) }

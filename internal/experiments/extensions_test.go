@@ -1,0 +1,366 @@
+package experiments
+
+import "testing"
+
+func TestX1ShapeDynamicContention(t *testing.T) {
+	cfg := Quick()
+	cfg.Sizes = []int{256, 512}
+	cfg.Queries = 20000
+	tab, err := X1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	for _, row := range tab.Rows {
+		if rebuilds := parseF(t, row[2]); rebuilds < 1 {
+			t.Errorf("n=%s: no rebuilds under churn of n ops", row[0])
+		}
+		// Amortized rebuild work per op is O(1/ε) = O(4) keys plus churn
+		// effects; anything below ~16 keys/op is the claimed constant band.
+		if work := parseF(t, row[3]); work > 16 {
+			t.Errorf("n=%s: amortized rebuild keys/op %v", row[0], work)
+		}
+		if wp := parseF(t, row[4]); wp < 2 || wp > 16 {
+			t.Errorf("n=%s: write probes/op %v outside O(1) band", row[0], wp)
+		}
+		if ratio := parseF(t, row[5]); ratio > 192 {
+			t.Errorf("n=%s: base read ratio %v after churn", row[0], ratio)
+		}
+	}
+}
+
+func TestT6ShapeAbsoluteContention(t *testing.T) {
+	cfg := Quick()
+	tab, err := T6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	idx := map[string]int{}
+	for i, c := range tab.Columns {
+		idx[c] = i
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	n := parseF(t, last[0])
+	lcds := parseF(t, last[idx["lcds"]])
+	if lcds > 4 {
+		t.Errorf("lcds maxΦ·n = %v, want O(1) near 1", lcds)
+	}
+	// Every header-indexed structure's hottest cell is at least as hot as
+	// lcds's in absolute terms.
+	for _, name := range []string{"fks+rep", "dm", "cuckoo+rep", "chained+rep"} {
+		if v := parseF(t, last[idx[name]]); v < lcds {
+			t.Errorf("%s maxΦ·n = %v below lcds %v", name, v, lcds)
+		}
+	}
+	// bsearch and plain fks have a contention-1 cell: maxΦ·n = n.
+	for _, name := range []string{"bsearch", "fks"} {
+		if v := parseF(t, last[idx[name]]); v < n-1 {
+			t.Errorf("%s maxΦ·n = %v, want ≈ n = %v", name, v, n)
+		}
+	}
+}
+
+func TestA1ShapeSpaceAblation(t *testing.T) {
+	cfg := Quick()
+	tab, err := A1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prevCells := 0.0
+	for _, row := range tab.Rows {
+		cells := parseF(t, row[1])
+		if cells <= prevCells {
+			t.Errorf("cells not increasing with beta: %v after %v", cells, prevCells)
+		}
+		prevCells = cells
+		// The absolute contention maxΦ·n must stay in a flat O(1) band
+		// across β — that is Theorem 3's O(1/n), independent of space.
+		if abs := parseF(t, row[5]); abs > 40 {
+			t.Errorf("beta=%s: maxΦ·n = %v not flat", row[0], abs)
+		}
+	}
+}
+
+func TestA2ShapeDegreeAblation(t *testing.T) {
+	cfg := Quick()
+	tab, err := A2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	prevProbes := 0.0
+	for _, row := range tab.Rows {
+		probes := parseF(t, row[1])
+		if probes <= prevProbes {
+			t.Errorf("probes not increasing with d: %v after %v", probes, prevProbes)
+		}
+		prevProbes = probes
+		if ratio := parseF(t, row[2]); ratio > 96 {
+			t.Errorf("d=%s: ratio %v", row[0], ratio)
+		}
+	}
+}
+
+func TestA4ShapeLayoutEquivalence(t *testing.T) {
+	cfg := Quick()
+	cfg.Sizes = []int{512}
+	cfg.Queries = 60000
+	tab, err := A4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	for _, row := range tab.Rows {
+		mcBlock, mcStrided := parseF(t, row[2]), parseF(t, row[3])
+		if mcBlock < 0.5*mcStrided || mcBlock > 2*mcStrided {
+			t.Errorf("n=%s: layouts disagree: block mc %v vs strided mc %v", row[0], mcBlock, mcStrided)
+		}
+		if row[4] != row[5] {
+			t.Errorf("n=%s: probe counts differ: %s vs %s", row[0], row[4], row[5])
+		}
+	}
+}
+
+func TestT7ShapeNegativeQueries(t *testing.T) {
+	cfg := Quick()
+	cfg.Sizes = []int{256, 512}
+	cfg.Queries = 60000
+	tab, err := T7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	idx := map[string]int{}
+	for i, c := range tab.Columns {
+		idx[c] = i
+	}
+	for _, row := range tab.Rows {
+		lcds := parseF(t, row[idx["lcds"]])
+		bsearch := parseF(t, row[idx["bsearch"]])
+		if lcds > 96 {
+			t.Errorf("n=%s: negative-query lcds ratio %v not O(1)", row[0], lcds)
+		}
+		n := parseF(t, row[0])
+		if bsearch < n/2 {
+			t.Errorf("n=%s: bsearch negative ratio %v, want ≈ n", row[0], bsearch)
+		}
+	}
+}
+
+func TestA6ShapeHashFamilies(t *testing.T) {
+	cfg := Quick()
+	cfg.Trials = 15
+	tab, err := A6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	for _, row := range tab.Rows {
+		dm := parseF(t, row[5])
+		bound := parseF(t, row[6])
+		if dm > bound {
+			t.Errorf("n=%s: DM family max/mean %v exceeds the Lemma 9(2) bound %v", row[0], dm, bound)
+		}
+		// All families produce loads ≥ the mean.
+		for i := 2; i <= 5; i++ {
+			if v := parseF(t, row[i]); v < 1 {
+				t.Errorf("n=%s: column %d max/mean %v below 1", row[0], i, v)
+			}
+		}
+	}
+}
+
+func TestX2ShapeKnownQRepair(t *testing.T) {
+	cfg := Quick()
+	cfg.FixedN = 512
+	tab, err := X2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	for _, row := range tab.Rows {
+		plain := parseF(t, row[1])
+		r4, r8, r16 := parseF(t, row[2]), parseF(t, row[3]), parseF(t, row[4])
+		// Ratios are not necessarily monotone in R: once the cold
+		// structure's heaviest non-hot key becomes the bottleneck, extra
+		// copies only add cells. But no R may be substantially worse than
+		// oblivious, and R=8 must clearly beat it for real skew.
+		for _, v := range []float64{r4, r8, r16} {
+			if v > 1.25*plain {
+				t.Errorf("zipf %s: skew ratio %v worse than plain %v", row[0], v, plain)
+			}
+		}
+		if exp := parseF(t, row[0]); exp >= 0.8 && r8 > plain/2 {
+			t.Errorf("zipf %s: R=8 ratio %v not well below plain %v", row[0], r8, plain)
+		}
+	}
+}
+
+// TestF3Golden pins the purely arithmetic F3 series: any change to the
+// t* solver that shifts these values is a regression (or a deliberate
+// recalibration that must update this test and EXPERIMENTS.md together).
+func TestF3Golden(t *testing.T) {
+	tab, err := F3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"2^8":    "1",
+		"2^128":  "2",
+		"2^384":  "3",
+		"2^1024": "4",
+		"2^2048": "5",
+	}
+	for _, row := range tab.Rows {
+		if w, ok := want[row[0]]; ok && row[2] != w {
+			t.Errorf("t*(%s, lg²n budget) = %s, want %s", row[0], row[2], w)
+		}
+	}
+}
+
+func TestP1RunsAndReportsPositiveThroughput(t *testing.T) {
+	cfg := Quick()
+	cfg.FixedN = 512
+	cfg.Queries = 8000
+	tab, err := P1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	if len(tab.Rows) < 1 {
+		t.Fatal("no thread counts")
+	}
+	for _, row := range tab.Rows {
+		for i := 1; i < len(row); i++ {
+			if v := parseF(t, row[i]); v <= 0 {
+				t.Errorf("thread row %s column %s: non-positive throughput %v", row[0], tab.Columns[i], v)
+			}
+		}
+	}
+}
+
+func TestF5ShapeSaturation(t *testing.T) {
+	cfg := Quick()
+	tab, err := F5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	idx := map[string]int{}
+	for i, c := range tab.Columns {
+		idx[c] = i
+	}
+	// At the highest rate, bsearch's latency must dwarf lcds's.
+	last := tab.Rows[len(tab.Rows)-1]
+	lcds := parseF(t, last[idx["lcds"]])
+	bsearch := parseF(t, last[idx["bsearch"]])
+	if bsearch < 10*lcds {
+		t.Errorf("no saturation separation: bsearch %v vs lcds %v", bsearch, lcds)
+	}
+	// At λ = 0.5 (underloaded), everyone's latency is near their probe count.
+	first := tab.Rows[0]
+	for i := 1; i < len(first); i++ {
+		if v := parseF(t, first[i]); v > 40 {
+			t.Errorf("%s: underloaded latency %v", tab.Columns[i], v)
+		}
+	}
+	// bsearch latency is non-decreasing in λ.
+	prev := 0.0
+	for _, row := range tab.Rows {
+		v := parseF(t, row[idx["bsearch"]])
+		if v+1e-9 < prev {
+			t.Errorf("bsearch latency decreased at λ=%s", row[0])
+		}
+		prev = v
+	}
+}
+
+func TestW1ShapeWorkloads(t *testing.T) {
+	cfg := Quick()
+	cfg.Queries = 30000
+	tab, err := W1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	idx := map[string]int{}
+	for i, c := range tab.Columns {
+		idx[c] = i
+	}
+	for _, row := range tab.Rows {
+		uniform := parseF(t, row[1])
+		if row[0] == "lcds" {
+			// Working-set skew concentrates lcds's deterministic data
+			// probes on the hot keys: the ratio rises well above uniform
+			// but stays far from the point-mass extreme (= cells).
+			ws := parseF(t, row[2])
+			if ws < uniform {
+				t.Errorf("lcds working-set ratio %v below uniform %v", ws, uniform)
+			}
+			// Scan queries each key equally often: total contention like
+			// uniform (within MC noise bands).
+			scan := parseF(t, row[3])
+			if scan > 4*uniform+20 {
+				t.Errorf("lcds scan ratio %v far above uniform %v", scan, uniform)
+			}
+		}
+	}
+}
+
+func TestA5ShapeCombining(t *testing.T) {
+	cfg := Quick()
+	tab, err := A5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	for _, row := range tab.Rows {
+		plain, combined := parseF(t, row[1]), parseF(t, row[2])
+		if combined > plain+1e-9 {
+			t.Errorf("%s: combining made things worse (%v > %v)", row[0], combined, plain)
+		}
+		if row[0] == "bsearch" && combined > plain/2 {
+			t.Errorf("bsearch: combining improvement too small (%v vs %v)", combined, plain)
+		}
+		if row[0] == "lcds" && plain > 2*combined+1 {
+			t.Errorf("lcds should not need combining: plain %v vs combined %v", plain, combined)
+		}
+	}
+}
+
+func TestA3ShapeBankAblation(t *testing.T) {
+	cfg := Quick()
+	tab, err := A3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab)
+	// The last row is the per-cell model; it must dominate (lowest
+	// slowdowns) every banked configuration for the lcds column.
+	idx := map[string]int{}
+	for i, c := range tab.Columns {
+		idx[c] = i
+	}
+	perCell := tab.Rows[len(tab.Rows)-1]
+	if perCell[0] != "per-cell" {
+		t.Fatalf("last row is %q", perCell[0])
+	}
+	lcdsPerCell := parseF(t, perCell[idx["lcds"]])
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		v := parseF(t, row[idx["lcds"]])
+		if v+1e-9 < lcdsPerCell {
+			t.Errorf("banks=%s: lcds slowdown %v below per-cell %v", row[0], v, lcdsPerCell)
+		}
+	}
+	// With very few banks everything serializes toward m/banks; the
+	// smallest bank count must show real slowdown even for lcds.
+	few := parseF(t, tab.Rows[0][idx["lcds"]])
+	if few < 1.5 {
+		t.Errorf("16 banks: lcds slowdown %v suspiciously low", few)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/rng"
+)
+
+// P1 — the model's prediction on real hardware: goroutines hammering each
+// structure with membership queries. Cell-probe contention manifests as
+// cache-line bouncing: structures whose queries converge on few cells (the
+// binary-search root, plain hash parameters) scale worse than the
+// low-contention dictionary, whose random replica choices spread traffic
+// across the table. Wall-clock numbers are machine-specific; the claim is
+// the *relative* scaling column.
+func P1(cfg Config) (*Table, error) {
+	n := cfg.FixedN
+	keys := Keys(n, cfg.Seed)
+	sts, err := ComparisonSet(keys, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	maxThreads := runtime.GOMAXPROCS(0)
+	threads := []int{1}
+	for t := 2; t <= maxThreads; t *= 2 {
+		threads = append(threads, t)
+	}
+	if last := threads[len(threads)-1]; last != maxThreads {
+		threads = append(threads, maxThreads)
+	}
+	queriesPerThread := cfg.Queries / 4
+	if queriesPerThread < 1000 {
+		queriesPerThread = 1000
+	}
+
+	t := &Table{
+		ID: "P1",
+		Title: fmt.Sprintf("Real-hardware parallel query throughput (n = %d, %d queries/goroutine, GOMAXPROCS = %d)",
+			n, queriesPerThread, maxThreads),
+		Notes: []string{
+			"entries are million queries per second, wall clock, probe recording off",
+			"speedup(T)/speedup(1) is the claim: the low-contention dictionary's scaling should dominate the hot-cell structures'",
+			"wall-clock numbers vary by machine and run; treat columns comparatively",
+		},
+	}
+	t.Columns = []string{"goroutines"}
+	for _, st := range sts {
+		t.Columns = append(t.Columns, st.Name()+" Mq/s")
+	}
+	for _, nt := range threads {
+		row := []string{d(nt)}
+		for _, st := range sts {
+			mqps, err := parallelThroughput(st, keys, nt, queriesPerThread, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2s(mqps))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// parallelThroughput measures wall-clock queries/µs for nt goroutines.
+func parallelThroughput(st contention.Structure, keys []uint64, nt, queriesPerThread int, seed uint64) (float64, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, nt)
+	start := time.Now()
+	for g := 0; g < nt; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(seed + uint64(g)*7919)
+			for i := 0; i < queriesPerThread; i++ {
+				k := keys[r.Intn(len(keys))]
+				ok, err := st.Contains(k, r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					errs <- fmt.Errorf("P1: %s lost key %d", st.Name(), k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	total := float64(nt * queriesPerThread)
+	return total / elapsed.Seconds() / 1e6, nil
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// T1 — Theorem 3 head-on: the low-contention dictionary is an
+// (O(n), b, O(1), O(1/n))-balanced scheme. For each n we report the exact
+// per-step contention ratio to optimal (must stay O(1)), the probe count
+// (constant), and the space per key (constant), under uniform positive
+// queries; a Monte-Carlo column cross-checks the analysis.
+func T1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "T1",
+		Title: "Theorem 3 — contention, time, and space of the low-contention dictionary (uniform positive queries)",
+		Columns: []string{"n", "cells", "cells/n", "probes", "maxProbes",
+			"ratioStep(exact)", "ratioStep(mc)", "ratioTotal(exact)"},
+		Notes: []string{
+			"ratioStep = max_{t,j} Φ_t(j) · s; optimal is 1, Theorem 3 promises O(1) — the column must stay flat as n grows",
+			"probes = expected cell probes per query; maxProbes = worst case (2d + ρ + 4)",
+			fmt.Sprintf("Monte-Carlo column uses %d sampled queries; it overshoots the exact value by Poisson sampling noise that grows with s/queries (the exact column is the claim)", cfg.Queries),
+		},
+	}
+	for _, n := range cfg.Sizes {
+		keys := Keys(n, cfg.Seed+uint64(n))
+		lc, err := core.Build(keys, core.Params{}, cfg.Seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		q := dist.NewUniformSet(keys, "")
+		ex, err := contention.Exact(lc, q.Support())
+		if err != nil {
+			return nil, err
+		}
+		mc, err := contention.MonteCarlo(lc, q, cfg.Queries, rng.New(cfg.Seed^uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			d(n), d(ex.Cells), f2s(float64(ex.Cells) / float64(n)),
+			f2s(ex.Probes), d(lc.MaxProbes()),
+			f1(ex.RatioStep()), f1(mc.RatioStep()), f1(ex.RatioTotal()),
+		})
+	}
+	return t, nil
+}
+
+// T2 — the §1.3 comparison: contention ratio to optimal for every structure
+// as n grows. The paper's predictions: LCDS O(1); replicated FKS Θ(√n)
+// worst-case (measured values on random keys track the balls-in-bins
+// Θ(ln n/ln ln n) average case); DM and cuckoo Θ(ln n/ln ln n); binary
+// search Θ(s).
+func T2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "T2",
+		Title: "Contention ratio to optimal vs n — LCDS and the §1.3 baselines (uniform positive queries)",
+		Notes: []string{
+			"entries are max_{t,j} Φ_t(j)·s, exact; optimal = 1",
+			"paper predictions: lcds O(1); fks+rep Θ(√n) worst case; dm, cuckoo+rep Θ(ln n/ln ln n); bsearch Θ(s) = Θ(n)",
+			"plain fks/cuckoo pin their parameter cell: ratio = s exactly (the §1 hot spot)",
+			"on random key sets FKS's measured max bucket load follows the average-case ln n/ln ln n rather than its √n worst-case guarantee",
+			"ratios normalize by each structure's own cell count; structures with small tables (chained: 3n cells) read low here even when their hottest cell is hotter than lcds's in absolute Φ·n terms",
+		},
+	}
+	names := []string{"lcds", "fks+rep", "dm", "cuckoo+rep", "chained+rep", "bsearch", "bsearch+rep", "linear+rep", "fks", "cuckoo"}
+	t.Columns = append([]string{"n", "ln n/ln ln n", "sqrt n"}, names...)
+	for _, n := range cfg.Sizes {
+		keys := Keys(n, cfg.Seed+uint64(n))
+		sts, err := BuildAll(keys, cfg.Seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		q := dist.NewUniformSet(keys, "")
+		ratios := map[string]float64{}
+		for _, st := range sts {
+			ex, err := contention.Exact(st, q.Support())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", st.Name(), err)
+			}
+			ratios[st.Name()] = ex.RatioStep()
+		}
+		ln := math.Log(float64(n))
+		row := []string{d(n), f2s(ln / math.Log(ln)), f1(math.Sqrt(float64(n)))}
+		for _, name := range names {
+			row = append(row, f1(ratios[name]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// T6 — the cross-structure comparable view of T2: absolute per-cell probe
+// probability scaled by n (maxΦ·n). Unlike the ratio to each structure's
+// own optimum, this does not reward small tables: it is the expected number
+// of probes the hottest cell receives when n queries run, divided by... n/n
+// — i.e. the paper's O(1/n) claim reads as an O(1) entry here.
+func T6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "T6",
+		Title: "Absolute contention maxΦ·n vs n (uniform positive queries)",
+		Notes: []string{
+			"maxΦ·n = n × the hottest cell's per-query probe probability; with n simultaneous queries the hottest cell expects this many probes (linearity of expectation, §1)",
+			"Theorem 3 keeps lcds at O(1) here; header-indexed structures grow with their max bucket load; plain variants and bsearch grow as n (their hot cell has Φ = 1)",
+			"bsearch+rep stores 8 whole copies: its absolute contention is n/8 — better by exactly its space factor, never by more (its T2 ratio is unchanged at n)",
+			"bloom+rep is the approximate competitor: its hottest bit cell is shared by several members (balls-in-bins multiplicity), so even a Bloom filter does not reach lcds's exact 1.00",
+		},
+	}
+	names := []string{"lcds", "bloom+rep", "fks+rep", "dm", "cuckoo+rep", "chained+rep", "linear+rep", "bsearch", "bsearch+rep", "fks"}
+	t.Columns = append([]string{"n"}, names...)
+	for _, n := range cfg.Sizes {
+		keys := Keys(n, cfg.Seed+uint64(n))
+		sts, err := BuildAll(keys, cfg.Seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		q := dist.NewUniformSet(keys, "")
+		abs := map[string]float64{}
+		for _, st := range sts {
+			ex, err := contention.Exact(st, q.Support())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", st.Name(), err)
+			}
+			abs[st.Name()] = ex.MaxStep * float64(n)
+		}
+		row := []string{d(n)}
+		for _, name := range names {
+			row = append(row, f2s(abs[name]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// T3 — arbitrary query distributions (§1.3 end, §3 motivation): skew makes
+// every structure's contention degrade; the point-mass distribution drives
+// any scheme with deterministic data probes to ratio = s.
+func T3(cfg Config) (*Table, error) {
+	n := cfg.FixedN
+	keys := Keys(n, cfg.Seed)
+	sts, err := ComparisonSet(keys, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dists := []dist.Dist{
+		dist.NewUniformSet(keys, "uniform-pos"),
+		dist.NewZipf(keys, 0.8),
+		dist.NewZipf(keys, 1.2),
+		dist.PointMass{Key: keys[0]},
+	}
+	t := &Table{
+		ID:    "T3",
+		Title: fmt.Sprintf("Contention ratio under skewed query distributions (n = %d)", n),
+		Notes: []string{
+			"Theorem 3's O(1) guarantee assumes uniform positive/negative queries; under skew the",
+			"deterministic last probes concentrate: with a point-mass distribution every structure",
+			"has a cell of contention 1 (ratio = s) — why §3 proves no scheme avoids this cheaply",
+		},
+	}
+	t.Columns = []string{"structure"}
+	for _, q := range dists {
+		t.Columns = append(t.Columns, q.Name())
+	}
+	for _, st := range sts {
+		row := []string{st.Name()}
+		for _, q := range dists {
+			sup, ok := q.(dist.Supporter)
+			if !ok {
+				return nil, fmt.Errorf("T3 distribution %s lacks exact support", q.Name())
+			}
+			ex, err := contention.Exact(st, sup.Support())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(ex.RatioStep()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// T4 — construction cost (§2.2): expected O(1) draws of (f, g, z) until
+// P(S) holds, expected ≤ 2 perfect-hash draws per bucket, and O(n) build
+// time overall.
+func T4(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "T4",
+		Title: "Construction cost of the low-contention dictionary",
+		Columns: []string{"n", "trials", "hashTries(mean)", "hashTries(max)",
+			"escalations", "perfectTries/bucket", "build ns/key"},
+		Notes: []string{
+			"hashTries = (f,g,z) draws until property P(S) held; the paper's Lemma 9 union bound gives success probability ≥ 1/2 − o(1) per draw, so the mean must be a small constant",
+			"escalations = slack increases on c (0 in the asymptotic regime)",
+			"ns/key is wall-clock and machine-dependent; linearity (flat column) is the claim",
+		},
+	}
+	for _, n := range cfg.Sizes {
+		var tries, maxTries, esc, perfect, buckets int
+		var elapsed time.Duration
+		for trial := 0; trial < cfg.Trials; trial++ {
+			keys := Keys(n, cfg.Seed+uint64(n*1000+trial))
+			start := time.Now()
+			lc, err := core.Build(keys, core.Params{}, cfg.Seed+uint64(trial))
+			elapsed += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			rep := lc.Report()
+			tries += rep.HashTries
+			if rep.HashTries > maxTries {
+				maxTries = rep.HashTries
+			}
+			esc += rep.Escalations
+			perfect += rep.PerfectTries
+			buckets += nonEmptyBuckets(rep)
+		}
+		trials := float64(cfg.Trials)
+		perBucket := 0.0
+		if buckets > 0 {
+			perBucket = float64(perfect) / float64(buckets)
+		}
+		t.Rows = append(t.Rows, []string{
+			d(n), d(cfg.Trials),
+			f2s(float64(tries) / trials), d(maxTries), f2s(float64(esc) / trials),
+			f2s(perBucket),
+			f1(float64(elapsed.Nanoseconds()) / trials / float64(n)),
+		})
+	}
+	return t, nil
+}
+
+// nonEmptyBuckets estimates the number of non-empty buckets from the report:
+// buckets ≥ ceil(n / maxLoad) and ≤ n; we use Σℓ²/maxLoad ≥ Σℓ = n ...
+// the report does not carry the exact count, so approximate with n divided
+// by the mean load implied by SumSquares (exact enough for a per-bucket
+// tries average).
+func nonEmptyBuckets(rep core.BuildReport) int {
+	if rep.N == 0 {
+		return 0
+	}
+	if rep.SumSquares <= 0 {
+		return rep.N
+	}
+	// Cauchy–Schwarz: nonEmpty ≥ n²/Σℓ². Use it as the estimate.
+	est := rep.N * rep.N / rep.SumSquares
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// T5 — Lemma 9 directly: success rates of its three load conditions for the
+// hash families, with c = 2e, d = 4, measured over many independent draws.
+func T5(cfg Config) (*Table, error) {
+	c := 2 * math.E
+	const dDeg = 4
+	t := &Table{
+		ID:    "T5",
+		Title: "Lemma 9 — load-condition success rates of the hash families (c = 2e, d = 4)",
+		Columns: []string{"n", "trials",
+			"P1: g loads ≤ cn/r", "P2: h' loads ≤ cn/m", "P3: Σℓ² ≤ s",
+			"max g load / bound", "max h' load / bound"},
+		Notes: []string{
+			"predictions: P1 → 1−o(1), P2 → 1−o(1), P3 ≥ 1 − 1/(β(β−1)) = 11/12 for β = 4",
+			"r = √n, m = n/(2 ln n), s = 4n as in the construction",
+		},
+	}
+	for _, n := range cfg.Sizes {
+		keys := Keys(n, cfg.Seed+uint64(n))
+		r := int(math.Ceil(math.Sqrt(float64(n))))
+		m := int(float64(n) / (2 * math.Log(float64(n))))
+		if m < 1 {
+			m = 1
+		}
+		s := ((4*n + m - 1) / m) * m
+		rand := rng.New(cfg.Seed ^ uint64(n))
+		var ok1, ok2, ok3 int
+		worstG, worstHp := 0.0, 0.0
+		bound1 := c * float64(n) / float64(r)
+		bound2 := c * float64(n) / float64(m)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			g := hash.NewPoly(rand, dDeg, uint64(r))
+			gl := hash.MaxLoad(hash.Loads(keys, g.Eval, r))
+			if float64(gl) <= bound1 {
+				ok1++
+			}
+			if v := float64(gl) / bound1; v > worstG {
+				worstG = v
+			}
+
+			hp := hash.NewDM(rand, dDeg, uint64(r), uint64(m))
+			hpl := hash.MaxLoad(hash.Loads(keys, hp.Eval, m))
+			if float64(hpl) <= bound2 {
+				ok2++
+			}
+			if v := float64(hpl) / bound2; v > worstHp {
+				worstHp = v
+			}
+
+			h := hash.NewDM(rand, dDeg, uint64(r), uint64(s))
+			if hash.SumSquares(hash.Loads(keys, h.Eval, s)) <= s {
+				ok3++
+			}
+		}
+		trials := float64(cfg.Trials)
+		t.Rows = append(t.Rows, []string{
+			d(n), d(cfg.Trials),
+			f3s(float64(ok1) / trials), f3s(float64(ok2) / trials), f3s(float64(ok3) / trials),
+			f2s(worstG), f2s(worstHp),
+		})
+	}
+	return t, nil
+}

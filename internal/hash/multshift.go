@@ -1,0 +1,32 @@
+package hash
+
+import "repro/internal/rng"
+
+// MultShift is Dietzfelbinger's multiply-shift hash into a power-of-two
+// range: h(x) = (A·x mod 2^64) >> (64 − K), with A odd. It is 2-universal
+// (collision probability ≤ 2/2^K). Baseline dictionaries use it where the
+// paper's baselines would use "a standard hash function"; the low-contention
+// dictionary itself uses the polynomial families, as the paper requires.
+type MultShift struct {
+	A uint64 // odd multiplier
+	K uint   // output bits; range is 2^K
+}
+
+// NewMultShift draws a multiply-shift function with 2^k outputs (0 ≤ k ≤ 63).
+func NewMultShift(r *rng.RNG, k uint) MultShift {
+	if k > 63 {
+		panic("hash: NewMultShift needs k ≤ 63")
+	}
+	return MultShift{A: r.Uint64() | 1, K: k}
+}
+
+// Eval returns h(x) ∈ [0, 2^K).
+func (h MultShift) Eval(x uint64) uint64 {
+	if h.K == 0 {
+		return 0
+	}
+	return (h.A * x) >> (64 - h.K)
+}
+
+// Range returns the number of outputs, 2^K.
+func (h MultShift) Range() uint64 { return 1 << h.K }

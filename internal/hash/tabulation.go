@@ -1,0 +1,38 @@
+package hash
+
+import "repro/internal/rng"
+
+// Tabulation is simple tabulation hashing (Zobrist; Pǎtraşcu–Thorup):
+// the key is split into 8 bytes, each indexed into its own table of random
+// words, and the results are XORed. It is exactly 3-independent — strictly
+// between the pairwise family and the d ≥ 4 polynomial families the
+// construction needs — and its load-concentration behaviour is famously
+// better than its independence suggests (Pǎtraşcu–Thorup 2011), which the
+// A6 ablation makes visible next to the families the paper analyzes.
+type Tabulation struct {
+	T [8][256]uint64
+	M uint64 // range
+}
+
+// NewTabulation draws a simple tabulation hash into [m).
+func NewTabulation(r *rng.RNG, m uint64) *Tabulation {
+	if m < 1 {
+		panic("hash: NewTabulation needs m ≥ 1")
+	}
+	t := &Tabulation{M: m}
+	for i := range t.T {
+		for j := range t.T[i] {
+			t.T[i][j] = r.Uint64()
+		}
+	}
+	return t
+}
+
+// Eval returns h(x) ∈ [0, M).
+func (t *Tabulation) Eval(x uint64) uint64 {
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h ^= t.T[i][byte(x>>(8*uint(i)))]
+	}
+	return h % t.M
+}

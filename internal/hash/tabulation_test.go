@@ -1,0 +1,108 @@
+package hash
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTabulationRangeAndDeterminism(t *testing.T) {
+	r := rng.New(1)
+	for _, m := range []uint64{1, 2, 97, 1 << 20} {
+		h := NewTabulation(r, m)
+		for i := 0; i < 300; i++ {
+			x := r.Uint64()
+			v := h.Eval(x)
+			if v >= m {
+				t.Fatalf("m=%d: value %d out of range", m, v)
+			}
+			if h.Eval(x) != v {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestTabulationPanicsOnZeroRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTabulation(0) did not panic")
+		}
+	}()
+	NewTabulation(rng.New(1), 0)
+}
+
+func TestTabulationCollisionRate(t *testing.T) {
+	r := rng.New(2)
+	const m = 128
+	const trials = 30000
+	x, y := uint64(0x0123456789abcdef), uint64(0xfedcba9876543210)
+	collisions := 0
+	for i := 0; i < trials; i++ {
+		h := NewTabulation(r, m)
+		if h.Eval(x) == h.Eval(y) {
+			collisions++
+		}
+	}
+	want := 1.0 / m
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	if got := float64(collisions) / trials; math.Abs(got-want) > 5*sigma {
+		t.Errorf("collision rate %v, want %v", got, want)
+	}
+}
+
+// TestTabulationThreeIndependence spot-checks the joint distribution of
+// three fixed keys over random draws (chi-squared on an 8³-cell histogram
+// would need huge samples; test the pairwise marginals of all three pairs
+// plus uniformity of the XOR triple, which 3-independence implies).
+func TestTabulationThreeIndependence(t *testing.T) {
+	r := rng.New(3)
+	const m = 8
+	const trials = 48000
+	keys := []uint64{1, 1 << 30, (1 << 50) + 7}
+	pairCounts := [3][m * m]int{}
+	for i := 0; i < trials; i++ {
+		h := NewTabulation(r, m)
+		v := [3]uint64{h.Eval(keys[0]), h.Eval(keys[1]), h.Eval(keys[2])}
+		pairs := [3][2]int{{0, 1}, {0, 2}, {1, 2}}
+		for pi, p := range pairs {
+			pairCounts[pi][v[p[0]]*m+v[p[1]]]++
+		}
+	}
+	expected := float64(trials) / (m * m)
+	for pi := range pairCounts {
+		chi2 := 0.0
+		for _, c := range pairCounts[pi] {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 63 dof, 99.9% quantile ≈ 103.4
+		if chi2 > 103.4 {
+			t.Errorf("pair %d: chi2 = %.1f", pi, chi2)
+		}
+	}
+}
+
+func TestTabulationMaxLoadComparable(t *testing.T) {
+	// Balls-in-bins: tabulation's max load on random keys tracks the
+	// polynomial families'.
+	r := rng.New(4)
+	keys := distinctKeys(r, 4096)
+	const m = 256
+	h := NewTabulation(r, m)
+	maxL := MaxLoad(Loads(keys, h.Eval, m))
+	mean := 4096.0 / m
+	if ratio := float64(maxL) / mean; ratio > 2.5 {
+		t.Errorf("tabulation max/mean %v suspicious", ratio)
+	}
+}
+
+func BenchmarkTabulationEval(b *testing.B) {
+	h := NewTabulation(rng.New(1), 1<<20)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Eval(sink | 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,146 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cellprobe"
+	"repro/internal/rng"
+)
+
+// SimConfig parameterizes the round-by-round adversary simulation of the
+// Theorem 13 proof.
+type SimConfig struct {
+	N          int     // parallel query instances (the shattered set size)
+	Cells      int     // table size s
+	PhiStar    float64 // contention budget per cell
+	Rounds     int     // t*
+	Candidates int     // decision-tree branching per round (N_t)
+}
+
+// RoundStats records one adversary round.
+type RoundStats struct {
+	Round        int
+	GoodRows     int     // candidate specs the adversary had to kill
+	ViolatedAll  bool    // Lemma 15 postcondition
+	ChosenInfo   float64 // Σ_j max_i P_t(i,j) of the surviving (bad) candidate
+	RtBound      float64 // the r_t cap of inequality (4)
+	WithinBound  bool
+	QTotalBudget float64 // Σ q_i spent so far (must stay ≤ 1)
+}
+
+// SimulateAdversary plays the §3 argument concretely. Each round the
+// "algorithm" proposes Candidates random probe specifications (one span per
+// instance, each respecting the contention constraint (2) against the
+// current q); the adversary computes M(u, i) = φ*/maxCellProb(u, i), builds
+// the Lemma 15 vector q increment that violates every good row, and the
+// algorithm is left choosing a bad row, whose information rate Lemma 16
+// caps by r_t. The returned per-round stats verify both lemmas end to end.
+func SimulateAdversary(cfg SimConfig, rnd *rng.RNG) ([]RoundStats, error) {
+	if cfg.N < 2 || cfg.Cells < cfg.N || cfg.Rounds < 1 || cfg.Candidates < 1 {
+		return nil, fmt.Errorf("lowerbound: invalid simulation config %+v", cfg)
+	}
+	q := make([]float64, cfg.N)
+	qTotal := 0.0
+	eps := 1.0 / float64(cfg.Rounds)
+	delta := cfg.PhiStar * float64(cfg.Cells)
+	var out []RoundStats
+
+	for t := 1; t <= cfg.Rounds; t++ {
+		// The algorithm's candidate probe specifications. Constraint (2):
+		// maxCellProb(i) ≤ φ*/q_i, i.e. span width ≥ q_i/φ* for mass-1 spans.
+		cands := make([][][]cellprobe.Span, cfg.Candidates)
+		for u := range cands {
+			cands[u] = make([][]cellprobe.Span, cfg.N)
+			for i := 0; i < cfg.N; i++ {
+				minWidth := 1
+				if q[i] > 0 {
+					minWidth = int(math.Ceil(q[i] / cfg.PhiStar))
+				}
+				if minWidth > cfg.Cells {
+					minWidth = cfg.Cells
+				}
+				width := minWidth + rnd.Intn(cfg.Cells-minWidth+1)
+				start := rnd.Intn(cfg.Cells - width + 1)
+				cands[u][i] = []cellprobe.Span{{Start: start, Count: width, Mass: 1}}
+			}
+		}
+		// Adversary: M(u, i) = φ* / maxCellProb(u, i).
+		M := make([][]float64, cfg.Candidates)
+		for u := range cands {
+			M[u] = make([]float64, cfg.N)
+			for i := 0; i < cfg.N; i++ {
+				M[u][i] = cfg.PhiStar * float64(cands[u][i][0].Count) // φ*/(1/width)
+			}
+		}
+		r := int(math.Sqrt(5 * float64(cfg.Rounds) * delta * float64(cfg.N) *
+			math.Log(math.Max(float64(cfg.Candidates), 2))))
+		if r < 2 {
+			r = 2
+		}
+		stats := RoundStats{Round: t}
+		for _, row := range M {
+			if cheapestSum(row, r) <= delta {
+				stats.GoodRows++
+			}
+		}
+		dq, _ := AdversaryVector(M, r, eps, delta, rnd)
+		for i, v := range dq {
+			if v > q[i] {
+				qTotal += v - q[i]
+				q[i] = v
+			}
+		}
+		stats.QTotalBudget = qTotal
+		stats.ViolatedAll = ViolatesAllGoodRows(M, r, delta, q)
+
+		// The algorithm must pick a candidate not violated by q (a bad
+		// row); if all are violated it is stuck and we report the last.
+		chosen := -1
+		for u, row := range M {
+			violated := false
+			for i := range row {
+				if row[i] < q[i] {
+					violated = true
+					break
+				}
+			}
+			if !violated {
+				chosen = u
+				break
+			}
+		}
+		if chosen >= 0 {
+			stats.ChosenInfo = ColumnMaxSum(cands[chosen])
+			stats.RtBound = float64(r)
+			stats.WithinBound = stats.ChosenInfo <= stats.RtBound+1e-9
+		} else {
+			stats.WithinBound = true // adversary killed every candidate
+		}
+		out = append(out, stats)
+	}
+	return out, nil
+}
+
+// cheapestSum returns the sum of the r smallest entries of row.
+func cheapestSum(row []float64, r int) float64 {
+	if r > len(row) {
+		r = len(row)
+	}
+	tmp := append([]float64(nil), row...)
+	// Selection via partial sort (rows are small).
+	for i := 0; i < r; i++ {
+		minIdx := i
+		for j := i + 1; j < len(tmp); j++ {
+			if tmp[j] < tmp[minIdx] {
+				minIdx = j
+			}
+		}
+		tmp[i], tmp[minIdx] = tmp[minIdx], tmp[i]
+	}
+	sum := 0.0
+	for i := 0; i < r; i++ {
+		sum += tmp[i]
+	}
+	return sum
+}

@@ -1,0 +1,85 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSimulateAdversaryRounds(t *testing.T) {
+	cfg := SimConfig{
+		N:          64,
+		Cells:      512,
+		PhiStar:    0.01,
+		Rounds:     5,
+		Candidates: 16,
+	}
+	stats, err := SimulateAdversary(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != cfg.Rounds {
+		t.Fatalf("got %d rounds", len(stats))
+	}
+	for _, s := range stats {
+		if !s.ViolatedAll {
+			t.Errorf("round %d: adversary failed to violate all good rows", s.Round)
+		}
+		if !s.WithinBound {
+			t.Errorf("round %d: chosen info %v exceeds r_t bound %v", s.Round, s.ChosenInfo, s.RtBound)
+		}
+		if s.QTotalBudget > 1+1e-9 {
+			t.Errorf("round %d: adversary budget %v exceeds 1", s.Round, s.QTotalBudget)
+		}
+	}
+	// The budget is spent incrementally: non-decreasing across rounds.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].QTotalBudget+1e-12 < stats[i-1].QTotalBudget {
+			t.Errorf("budget decreased at round %d", i)
+		}
+	}
+}
+
+func TestSimulateAdversaryManySeeds(t *testing.T) {
+	cfg := SimConfig{N: 32, Cells: 256, PhiStar: 0.02, Rounds: 4, Candidates: 8}
+	for seed := uint64(0); seed < 10; seed++ {
+		stats, err := SimulateAdversary(cfg, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range stats {
+			if !s.ViolatedAll || !s.WithinBound {
+				t.Fatalf("seed %d round %d: violatedAll=%v withinBound=%v",
+					seed, s.Round, s.ViolatedAll, s.WithinBound)
+			}
+		}
+	}
+}
+
+func TestSimulateAdversaryRejectsBadConfig(t *testing.T) {
+	bad := []SimConfig{
+		{N: 1, Cells: 10, PhiStar: 0.1, Rounds: 1, Candidates: 1},
+		{N: 4, Cells: 2, PhiStar: 0.1, Rounds: 1, Candidates: 1},
+		{N: 4, Cells: 10, PhiStar: 0.1, Rounds: 0, Candidates: 1},
+		{N: 4, Cells: 10, PhiStar: 0.1, Rounds: 1, Candidates: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateAdversary(cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCheapestSum(t *testing.T) {
+	row := []float64{5, 1, 3, 2, 4}
+	if got := cheapestSum(row, 2); got != 3 {
+		t.Errorf("cheapestSum(2) = %v, want 3", got)
+	}
+	if got := cheapestSum(row, 10); got != 15 {
+		t.Errorf("cheapestSum(10) = %v, want 15", got)
+	}
+	// Must not mutate the input.
+	if row[0] != 5 || row[1] != 1 {
+		t.Error("cheapestSum mutated the row")
+	}
+}

@@ -1,0 +1,77 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// CoupledProbes realizes the joint distribution of Lemma 21: given n
+// product-space probe distributions (probs[i][j] = Pr[cell j ∈ J_i]), it
+// draws sets L_1..L_n such that each L_i has exactly its marginal
+// distribution while the union ∪L_i is concentrated on the shared base set
+// B — so E[|∪L_i|] ≤ Σ_j max_i probs[i][j], the information bound that
+// powers Lemma 14.
+//
+// Construction (verbatim from the proof): draw B by including each cell j
+// independently with probability p̃_j = max_i probs[i][j]; then each cell
+// j ∈ B joins L_i independently with probability probs[i][j]/p̃_j.
+func CoupledProbes(probs [][]float64, r *rng.RNG) ([][]int, error) {
+	if len(probs) == 0 {
+		return nil, nil
+	}
+	s := len(probs[0])
+	for i, p := range probs {
+		if len(p) != s {
+			return nil, fmt.Errorf("lowerbound: instance %d has %d cells, want %d", i, len(p), s)
+		}
+		for j, v := range p {
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("lowerbound: probs[%d][%d] = %v", i, j, v)
+			}
+		}
+	}
+	tilde := make([]float64, s)
+	for j := 0; j < s; j++ {
+		for i := range probs {
+			if probs[i][j] > tilde[j] {
+				tilde[j] = probs[i][j]
+			}
+		}
+	}
+	out := make([][]int, len(probs))
+	for j := 0; j < s; j++ {
+		if tilde[j] == 0 || r.Float64() >= tilde[j] {
+			continue
+		}
+		// j ∈ B: thin into each instance.
+		for i := range probs {
+			if probs[i][j] == 0 {
+				continue
+			}
+			if r.Float64() < probs[i][j]/tilde[j] {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnionBound returns Σ_j max_i probs[i][j] — Lemma 21's bound on the
+// expected size of the coupled union.
+func UnionBound(probs [][]float64) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for j := range probs[0] {
+		best := 0.0
+		for i := range probs {
+			if probs[i][j] > best {
+				best = probs[i][j]
+			}
+		}
+		total += best
+	}
+	return total
+}

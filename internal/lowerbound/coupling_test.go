@@ -1,0 +1,115 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCoupledProbesMarginals(t *testing.T) {
+	// Two instances over 6 cells with overlapping support.
+	probs := [][]float64{
+		{0.5, 0.3, 0.0, 0.2, 0.0, 0.1},
+		{0.5, 0.0, 0.4, 0.2, 0.1, 0.0},
+	}
+	r := rng.New(1)
+	const trials = 200000
+	counts := make([][]int, len(probs))
+	for i := range counts {
+		counts[i] = make([]int, len(probs[0]))
+	}
+	unionTotal := 0
+	for trial := 0; trial < trials; trial++ {
+		ls, err := CoupledProbes(probs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := map[int]bool{}
+		for i, l := range ls {
+			for _, j := range l {
+				counts[i][j]++
+				union[j] = true
+			}
+		}
+		unionTotal += len(union)
+	}
+	// Marginals must match probs.
+	for i := range probs {
+		for j := range probs[i] {
+			got := float64(counts[i][j]) / trials
+			if math.Abs(got-probs[i][j]) > 0.01 {
+				t.Errorf("marginal[%d][%d] = %v, want %v", i, j, got, probs[i][j])
+			}
+		}
+	}
+	// E[|union|] ≤ Σ_j max_i p.
+	bound := UnionBound(probs)
+	gotUnion := float64(unionTotal) / trials
+	if gotUnion > bound+0.02 {
+		t.Errorf("E[|union|] = %v exceeds bound %v", gotUnion, bound)
+	}
+	// The coupling must be genuinely better than independence: shared
+	// cells (cell 0 at 0.5/0.5, cell 3 at 0.2/0.2) are sampled once, so
+	// the union is strictly below the independent-draw expectation.
+	independent := 0.0
+	for j := range probs[0] {
+		miss := 1.0
+		for i := range probs {
+			miss *= 1 - probs[i][j]
+		}
+		independent += 1 - miss
+	}
+	if gotUnion >= independent-0.05 {
+		t.Errorf("coupled union %v not below independent %v", gotUnion, independent)
+	}
+}
+
+func TestCoupledProbesIdenticalInstances(t *testing.T) {
+	// n identical instances: the union equals each L_i's distribution —
+	// exactly 1 cell of joint information per Lemma 14's replicated rounds.
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	probs := [][]float64{p, p, p, p}
+	r := rng.New(2)
+	const trials = 100000
+	unionTotal := 0
+	for trial := 0; trial < trials; trial++ {
+		ls, err := CoupledProbes(probs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := map[int]bool{}
+		for _, l := range ls {
+			for _, j := range l {
+				union[j] = true
+			}
+		}
+		unionTotal += len(union)
+	}
+	got := float64(unionTotal) / trials
+	if math.Abs(got-UnionBound(probs)) > 0.02 {
+		t.Errorf("identical-instance union %v, want %v", got, UnionBound(probs))
+	}
+	if UnionBound(probs) != 1 {
+		t.Errorf("UnionBound = %v, want 1", UnionBound(probs))
+	}
+}
+
+func TestCoupledProbesValidation(t *testing.T) {
+	if _, err := CoupledProbes([][]float64{{0.5}, {0.5, 0.5}}, rng.New(3)); err == nil {
+		t.Error("ragged probs accepted")
+	}
+	if _, err := CoupledProbes([][]float64{{1.5}}, rng.New(3)); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	out, err := CoupledProbes(nil, rng.New(3))
+	if err != nil || out != nil {
+		t.Errorf("empty input: %v %v", out, err)
+	}
+}
+
+func TestUnionBoundEmpty(t *testing.T) {
+	if UnionBound(nil) != 0 {
+		t.Error("empty UnionBound not 0")
+	}
+}

@@ -1,0 +1,28 @@
+package lowerbound_test
+
+import (
+	"fmt"
+
+	"repro/internal/lowerbound"
+)
+
+// ExampleVCDim computes Definition 11 for the membership problem: with
+// data sets of size k, exactly k queries can be shattered.
+func ExampleVCDim() {
+	p := lowerbound.Membership(8, 4)
+	fmt.Println(lowerbound.VCDim(p))
+	// Output: 4
+}
+
+// ExampleMinTStar inverts Theorem 13's final inequality: the probe count a
+// balanced scheme needs grows (doubly logarithmically) with n.
+func ExampleMinTStar() {
+	budget := func(lg float64) float64 { return lg * lg } // polylog: lg²n
+	fmt.Println(lowerbound.MinTStarLog2(8, budget(8), budget(8)))
+	fmt.Println(lowerbound.MinTStarLog2(512, budget(512), budget(512)))
+	fmt.Println(lowerbound.MinTStarLog2(4096, budget(4096), budget(4096)))
+	// Output:
+	// 1
+	// 3
+	// 5
+}

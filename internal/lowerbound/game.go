@@ -1,0 +1,309 @@
+package lowerbound
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/cellprobe"
+	"repro/internal/rng"
+)
+
+// ColumnMaxSum computes Σ_j max_i P(i, j) over a step's probe spans of n
+// query instances: spans[i] lists instance i's spans (non-overlapping within
+// an instance, as every structure here produces). This is the left side of
+// Lemma 16 and, times b, the information bound (3) of Lemma 14.
+//
+// The sweep runs in O(k log k) for k total spans via a lazy-deletion
+// max-heap over per-cell masses.
+func ColumnMaxSum(spans [][]cellprobe.Span) float64 {
+	type event struct {
+		pos   int
+		value float64
+		open  bool
+	}
+	var events []event
+	for _, inst := range spans {
+		for _, sp := range inst {
+			if sp.Count <= 0 || sp.Mass <= 0 {
+				continue
+			}
+			pc := sp.PerCell()
+			events = append(events,
+				event{pos: sp.Start, value: pc, open: true},
+				event{pos: sp.Start + sp.Count, value: pc, open: false})
+		}
+	}
+	if len(events) == 0 {
+		return 0
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	active := &lazyMaxHeap{}
+	removed := map[float64]int{}
+	total := 0.0
+	i := 0
+	prev := events[0].pos
+	for i < len(events) {
+		pos := events[i].pos
+		// Contribution of the segment [prev, pos).
+		if pos > prev {
+			if m, ok := active.Max(removed); ok {
+				total += float64(pos-prev) * m
+			}
+			prev = pos
+		}
+		for i < len(events) && events[i].pos == pos {
+			if events[i].open {
+				heap.Push(active, events[i].value)
+			} else {
+				removed[events[i].value]++
+			}
+			i++
+		}
+	}
+	return total
+}
+
+// lazyMaxHeap is a float64 max-heap with lazy deletion.
+type lazyMaxHeap []float64
+
+func (h lazyMaxHeap) Len() int            { return len(h) }
+func (h lazyMaxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h lazyMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyMaxHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *lazyMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Max returns the current maximum, discarding lazily removed entries.
+func (h *lazyMaxHeap) Max(removed map[float64]int) (float64, bool) {
+	for h.Len() > 0 {
+		top := (*h)[0]
+		if removed[top] > 0 {
+			removed[top]--
+			heap.Pop(h)
+			continue
+		}
+		return top, true
+	}
+	return 0, false
+}
+
+// LargestCheapSet returns |R| for the largest R ⊆ [n] with
+// Σ_{i∈R} 1/max_j P(i,j) ≤ s, the right side of Lemma 16. maxPerInstance[i]
+// is max_j P(i, j); instances with zero max are probing nothing and are
+// excluded.
+func LargestCheapSet(maxPerInstance []float64, s int) int {
+	count, _ := cheapSet(maxPerInstance, s)
+	return count
+}
+
+// CheapSetLPBound returns the exact linear-programming optimum of Lemma 16's
+// proof: maximize Σ x_i subject to x_i ≤ 1 and Σ x_i / max_j P(i,j) ≤ s.
+// The paper states the bound as |R|, which drops the fractional remainder of
+// the last row the budget partially covers; Σ_j max_i P(i,j) can exceed |R|
+// by that fraction (< 1), and this function is the rigorous bound our
+// property tests verify. The looseness is absorbed by the theorem's
+// constants.
+func CheapSetLPBound(maxPerInstance []float64, s int) float64 {
+	count, frac := cheapSet(maxPerInstance, s)
+	return float64(count) + frac
+}
+
+func cheapSet(maxPerInstance []float64, s int) (count int, frac float64) {
+	costs := make([]float64, 0, len(maxPerInstance))
+	for _, m := range maxPerInstance {
+		if m > 0 {
+			costs = append(costs, 1/m)
+		}
+	}
+	sort.Float64s(costs)
+	budget := float64(s)
+	for _, c := range costs {
+		if budget < c {
+			frac = budget / c
+			if frac > 1 {
+				frac = 1
+			}
+			return count, frac
+		}
+		budget -= c
+		count++
+	}
+	return count, 0
+}
+
+// AdversaryVector realizes Lemma 15 constructively. M is an N×n
+// non-negative matrix; rows for which the sum of their r smallest entries
+// is ≤ delta are the "good" rows the adversary must violate. It returns a
+// vector q with Σq_i = eps such that for every good row u there is an i
+// with M[u][i] < q_i, together with the index set T it concentrated on.
+// Rows whose cheapest-r sum exceeds delta (not good) are ignored, matching
+// the lemma's hypothesis.
+func AdversaryVector(M [][]float64, r int, eps, delta float64, rnd *rng.RNG) (q []float64, T []int) {
+	if len(M) == 0 {
+		return nil, nil
+	}
+	n := len(M[0])
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	// R'_u: indices of the r/2 smallest entries of each good row.
+	half := r / 2
+	if half < 1 {
+		half = 1
+	}
+	var rprime [][]int
+	idx := make([]int, n)
+	for _, row := range M {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
+		sum := 0.0
+		for _, i := range idx[:r] {
+			sum += row[i]
+		}
+		if sum > delta {
+			continue // row is not good; the adversary need not violate it
+		}
+		rprime = append(rprime, append([]int(nil), idx[:half]...))
+	}
+	if len(rprime) == 0 {
+		return make([]float64, n), nil
+	}
+	// Find a small T hitting every R'_u. The probabilistic argument
+	// guarantees a random set of size 2n·lnN/r works; we retry random
+	// draws and grow the size if needed, then greedily minimize.
+	lnN := math.Log(math.Max(float64(len(M)), 2))
+	size := int(math.Ceil(2 * float64(n) * lnN / float64(r)))
+	if size < 1 {
+		size = 1
+	}
+	if size > n {
+		size = n
+	}
+	for attempts := 0; ; attempts++ {
+		perm := rnd.Perm(n)
+		cand := perm[:size]
+		in := make([]bool, n)
+		for _, i := range cand {
+			in[i] = true
+		}
+		ok := true
+		for _, rp := range rprime {
+			hit := false
+			for _, i := range rp {
+				if in[i] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			T = cand
+			break
+		}
+		if attempts%8 == 7 && size < n {
+			size++ // finite-n slack over the asymptotic bound
+		}
+	}
+	q = make([]float64, n)
+	for _, i := range T {
+		q[i] = eps / float64(len(T))
+	}
+	return q, T
+}
+
+// ViolatesAllGoodRows checks the Lemma 15 postcondition: every row whose
+// r cheapest entries sum to ≤ delta has some entry strictly below q.
+func ViolatesAllGoodRows(M [][]float64, r int, delta float64, q []float64) bool {
+	n := len(q)
+	if r > n {
+		r = n
+	}
+	idx := make([]int, n)
+	for _, row := range M {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
+		sum := 0.0
+		for _, i := range idx[:r] {
+			sum += row[i]
+		}
+		if sum > delta {
+			continue
+		}
+		violated := false
+		for i := range row {
+			if row[i] < q[i] {
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			return false
+		}
+	}
+	return true
+}
+
+// Recursion returns the bound sequence E[C_1] ≤ a1,
+// E[C_t] ≤ √(a·E[C_{t−1}]) for t = 1..steps (Theorem 13's proof).
+func Recursion(a1, a float64, steps int) []float64 {
+	out := make([]float64, steps)
+	cur := a1
+	for t := 0; t < steps; t++ {
+		if t > 0 {
+			cur = math.Sqrt(a * cur)
+		}
+		out[t] = cur
+	}
+	return out
+}
+
+// MinTStar returns the smallest t* ≥ 1 satisfying Theorem 13's final
+// inequality n·2^(−2t*) ≤ a1·a^(1−2^(−t*)), with a1 = b·(φ*·s) and
+// a = (5 ln 2)·b²·t*·(φ*·s)·n. phiTimesS is the contention as a multiple of
+// the optimal 1/s (the paper's polylog(n) budget); b is the cell width in
+// bits. Any scheme with fewer probes cannot gather the required n·2^(−2t*)
+// bits, so this is the probe-count lower bound — Θ(log log n) for
+// polylogarithmic b and phiTimesS.
+func MinTStar(n, b, phiTimesS float64) int {
+	if n <= 1 {
+		return 1
+	}
+	return MinTStarLog2(math.Log2(n), b, phiTimesS)
+}
+
+// MinTStarLog2 is MinTStar with n given as log₂ n, usable beyond the
+// float64 range (n up to 2^(2^53)).
+func MinTStarLog2(log2N, b, phiTimesS float64) int {
+	if log2N <= 0 {
+		return 1
+	}
+	lnN := log2N * math.Ln2
+	lnA1 := math.Log(b * phiTimesS)
+	for t := 1; t <= 64; t++ {
+		lnA := math.Log(5*math.Ln2*b*b*phiTimesS) + lnN + math.Log(float64(t))
+		lhs := lnN - 2*float64(t)*math.Ln2
+		rhs := lnA1 + (1-math.Pow(2, -float64(t)))*lnA
+		if lhs <= rhs {
+			return t
+		}
+	}
+	return 64
+}

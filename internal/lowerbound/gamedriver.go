@@ -1,0 +1,75 @@
+package lowerbound
+
+import (
+	"math"
+
+	"repro/internal/cellprobe"
+)
+
+// GameRound records one round of the Lemma 14 communication game.
+type GameRound struct {
+	Step int
+	// InfoRate is Σ_j max_i P_t(i, j): how many cells the n parallel
+	// query instances can usefully read this round after Lemma 21's
+	// coupling (their union of probed cells has this expected size).
+	InfoRate float64
+	// BitsBound = b · InfoRate bounds the information received (Lemma 14,
+	// inequality (3)).
+	BitsBound float64
+	// MaxCellProb is max_{i,j} P_t(i, j), the quantity the adversary
+	// constrains via (2): P_t(i, j) ≤ φ*/q_i.
+	MaxCellProb float64
+}
+
+// GameResult aggregates the game over all rounds of a scheme's probe
+// specifications.
+type GameResult struct {
+	Instances int
+	Rounds    []GameRound
+	// TotalBits is Σ_t BitsBound — the most the algorithm can have learned.
+	TotalBits float64
+	// RequiredBits is n·2^(−2t*) (Lemma 14, property 3): the information
+	// the n parallel product-space instances must collect in expectation.
+	RequiredBits float64
+}
+
+// Feasible reports whether the information actually obtainable covers the
+// requirement. A correct scheme always satisfies it; the lower bound's
+// content is how large t* must be before it can hold under contention
+// constraints.
+func (g GameResult) Feasible() bool { return g.TotalBits >= g.RequiredBits }
+
+// PlayGame runs the Lemma 14 accounting on the exact probe specifications
+// of n query instances against a fixed table: per round it computes the
+// column-max information bound, and it compares the cumulative total with
+// the requirement n·2^(−2t*). bBits is the cell width b in bits.
+func PlayGame(specs []cellprobe.ProbeSpec, bBits float64) GameResult {
+	res := GameResult{Instances: len(specs)}
+	steps := 0
+	for _, sp := range specs {
+		if len(sp) > steps {
+			steps = len(sp)
+		}
+	}
+	for t := 0; t < steps; t++ {
+		round := GameRound{Step: t}
+		spans := make([][]cellprobe.Span, 0, len(specs))
+		for _, sp := range specs {
+			if t >= len(sp) {
+				continue
+			}
+			spans = append(spans, sp[t])
+			for _, s := range sp[t] {
+				if pc := s.PerCell(); pc > round.MaxCellProb {
+					round.MaxCellProb = pc
+				}
+			}
+		}
+		round.InfoRate = ColumnMaxSum(spans)
+		round.BitsBound = bBits * round.InfoRate
+		res.Rounds = append(res.Rounds, round)
+		res.TotalBits += round.BitsBound
+	}
+	res.RequiredBits = float64(len(specs)) * math.Pow(2, -2*float64(steps))
+	return res
+}

@@ -1,0 +1,432 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellprobe"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+func TestVCDimMembership(t *testing.T) {
+	// VC-dim of membership with data sets of size k is exactly k (§3).
+	for _, tc := range []struct{ universe, setSize, want int }{
+		{6, 0, 0},
+		{6, 1, 1},
+		{6, 3, 3},
+		{6, 6, 0}, // only one data set (everything): nothing shattered
+		{8, 4, 4},
+		{5, 2, 2},
+	} {
+		p := Membership(tc.universe, tc.setSize)
+		if got := VCDim(p); got != tc.want {
+			t.Errorf("VCDim(membership %d choose %d) = %d, want %d",
+				tc.universe, tc.setSize, got, tc.want)
+		}
+	}
+}
+
+func TestVCDimHandConstructed(t *testing.T) {
+	// Problem with rows {00, 01, 10}: shatters one query but not two.
+	p := Problem{NumQueries: 2, Rows: []uint64{0b00, 0b01, 0b10}}
+	if got := VCDim(p); got != 1 {
+		t.Errorf("VCDim = %d, want 1", got)
+	}
+	// Adding row 11 shatters both queries.
+	p.Rows = append(p.Rows, 0b11)
+	if got := VCDim(p); got != 2 {
+		t.Errorf("VCDim = %d, want 2", got)
+	}
+	if got := VCDim(Problem{}); got != 0 {
+		t.Errorf("VCDim(empty) = %d", got)
+	}
+}
+
+func TestVCDimInterval(t *testing.T) {
+	// Intervals on a line have VC-dimension exactly 2 for ≥ 3 points.
+	for _, q := range []int{3, 5, 8, 12} {
+		if got := VCDim(Interval(q)); got != 2 {
+			t.Errorf("VCDim(interval %d) = %d, want 2", q, got)
+		}
+	}
+	// Degenerate universes: with one point there is no empty interval, so
+	// the single point cannot be labeled 0 — dimension 0.
+	if got := VCDim(Interval(1)); got != 0 {
+		t.Errorf("VCDim(interval 1) = %d, want 0", got)
+	}
+	if got := VCDim(Interval(0)); got != 0 {
+		t.Errorf("VCDim(interval 0) = %d, want 0", got)
+	}
+	// Two points cannot both be labeled 0 either — dimension 1.
+	if got := VCDim(Interval(2)); got != 1 {
+		t.Errorf("VCDim(interval 2) = %d, want 1", got)
+	}
+}
+
+func TestVCDimThreshold(t *testing.T) {
+	for _, q := range []int{1, 4, 10} {
+		if got := VCDim(Threshold(q)); got != 1 {
+			t.Errorf("VCDim(threshold %d) = %d, want 1", q, got)
+		}
+	}
+}
+
+func TestVCDimParity(t *testing.T) {
+	for _, q := range []int{0, 1, 3, 8} {
+		if got := VCDim(Parity(q)); got != q {
+			t.Errorf("VCDim(parity %d) = %d, want %d", q, got, q)
+		}
+	}
+}
+
+// TestTheorem13AppliesAcrossProblems: the lower bound is stated for any
+// problem with a non-degenerate VC-dimension — verify MinTStar responds to
+// the dimension, not the problem encoding: parity(q) has dimension q, so
+// its bound matches membership's with n = q shattered queries.
+func TestTheorem13AppliesAcrossProblems(t *testing.T) {
+	nFromVC := func(p Problem) float64 { return float64(int(1) << uint(VCDim(p))) }
+	mem := Membership(12, 6)
+	par := Parity(6)
+	if VCDim(mem) != VCDim(par) {
+		t.Fatalf("dimensions differ: %d vs %d", VCDim(mem), VCDim(par))
+	}
+	if MinTStar(nFromVC(mem), 64, 64) != MinTStar(nFromVC(par), 64, 64) {
+		t.Error("equal VC-dimensions gave different t* bounds")
+	}
+}
+
+func TestColumnMaxSumSimple(t *testing.T) {
+	// Two instances: instance 0 uniform over cells [0,4), instance 1 a
+	// point at cell 2. Column maxima: 0.25, 0.25, 1, 0.25 -> 1.75.
+	spans := [][]cellprobe.Span{
+		{{Start: 0, Count: 4, Mass: 1}},
+		{{Start: 2, Count: 1, Mass: 1}},
+	}
+	if got := ColumnMaxSum(spans); math.Abs(got-1.75) > 1e-12 {
+		t.Errorf("ColumnMaxSum = %v, want 1.75", got)
+	}
+}
+
+func TestColumnMaxSumEmpty(t *testing.T) {
+	if got := ColumnMaxSum(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := ColumnMaxSum([][]cellprobe.Span{{}, {}}); got != 0 {
+		t.Errorf("no spans = %v", got)
+	}
+}
+
+func TestColumnMaxSumMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		const cells = 60
+		nInst := 1 + r.Intn(6)
+		spans := make([][]cellprobe.Span, nInst)
+		dense := make([][]float64, nInst)
+		for i := range spans {
+			dense[i] = make([]float64, cells)
+			// Spans within one instance must not overlap (the documented
+			// ColumnMaxSum contract, honored by every structure's specs):
+			// carve them from disjoint ranges.
+			pos := 0
+			nsp := 1 + r.Intn(3)
+			for k := 0; k < nsp && pos < cells; k++ {
+				start := pos + r.Intn(cells-pos)
+				if start >= cells {
+					break
+				}
+				count := 1 + r.Intn(cells-start)
+				mass := r.Float64() / float64(nsp)
+				spans[i] = append(spans[i], cellprobe.Span{Start: start, Count: count, Mass: mass})
+				for j := start; j < start+count; j++ {
+					dense[i][j] += mass / float64(count)
+				}
+				pos = start + count
+			}
+		}
+		want := 0.0
+		for j := 0; j < cells; j++ {
+			best := 0.0
+			for i := range dense {
+				if dense[i][j] > best {
+					best = dense[i][j]
+				}
+			}
+			want += best
+		}
+		got := ColumnMaxSum(spans)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: sweep %v, brute %v", trial, got, want)
+		}
+	}
+}
+
+func TestColumnMaxSumOverlapWithinInstance(t *testing.T) {
+	// Overlapping spans within one instance sum per cell; the sweep treats
+	// each span independently, so per-instance sums are only correct when
+	// spans do not overlap — verify the documented non-overlap contract is
+	// honored by our structures' specs rather than silently wrong here:
+	// with two identical instances the max equals a single instance.
+	sp := []cellprobe.Span{{Start: 0, Count: 2, Mass: 1}}
+	one := ColumnMaxSum([][]cellprobe.Span{sp})
+	two := ColumnMaxSum([][]cellprobe.Span{sp, sp})
+	if math.Abs(one-two) > 1e-12 {
+		t.Errorf("identical instances changed column-max sum: %v vs %v", one, two)
+	}
+}
+
+func TestLargestCheapSet(t *testing.T) {
+	// maxima 1, 1/2, 1/4 -> costs 1, 2, 4. Budget 3 fits {1,2} -> 2.
+	if got := LargestCheapSet([]float64{1, 0.5, 0.25}, 3); got != 2 {
+		t.Errorf("LargestCheapSet = %d, want 2", got)
+	}
+	if got := LargestCheapSet([]float64{1, 0.5, 0.25}, 7); got != 3 {
+		t.Errorf("LargestCheapSet = %d, want 3", got)
+	}
+	if got := LargestCheapSet([]float64{0, 0}, 10); got != 0 {
+		t.Errorf("all-zero instances = %d, want 0", got)
+	}
+}
+
+// TestLemma16Inequality: Σ_j max_i P(i,j) ≤ |R| on random sub-stochastic
+// span matrices.
+func TestLemma16Inequality(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 60; trial++ {
+		const cells = 80
+		nInst := 2 + r.Intn(8)
+		spans := make([][]cellprobe.Span, nInst)
+		maxima := make([]float64, nInst)
+		for i := range spans {
+			start := r.Intn(cells)
+			count := 1 + r.Intn(cells-start)
+			mass := 0.1 + 0.9*r.Float64()
+			spans[i] = []cellprobe.Span{{Start: start, Count: count, Mass: mass}}
+			maxima[i] = mass / float64(count)
+		}
+		lhs := ColumnMaxSum(spans)
+		lp := CheapSetLPBound(maxima, cells)
+		if lhs > lp+1e-9 {
+			t.Fatalf("trial %d: Lemma 16 LP bound violated: %v > %v", trial, lhs, lp)
+		}
+		// The paper's integer statement holds up to the fractional slack.
+		if intBound := LargestCheapSet(maxima, cells); lhs > float64(intBound)+1 {
+			t.Fatalf("trial %d: %v exceeds |R| + 1 = %d", trial, lhs, intBound+1)
+		}
+	}
+}
+
+// TestAdversaryVector: the constructed q violates every good row, sums to
+// eps, and is supported on T.
+func TestAdversaryVector(t *testing.T) {
+	r := rng.New(3)
+	const N, n = 40, 30
+	M := make([][]float64, N)
+	for u := range M {
+		M[u] = make([]float64, n)
+		for i := range M[u] {
+			M[u][i] = r.Float64() * 0.001 // small entries: all rows good
+		}
+	}
+	const eps, delta = 0.5, 0.02
+	rr := 10
+	q, T := AdversaryVector(M, rr, eps, delta, r)
+	if len(T) == 0 {
+		t.Fatal("empty T")
+	}
+	sum := 0.0
+	for i, v := range q {
+		sum += v
+		if v > 0 {
+			found := false
+			for _, ti := range T {
+				if ti == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("q positive off T at %d", i)
+			}
+		}
+	}
+	if math.Abs(sum-eps) > 1e-9 {
+		t.Errorf("Σq = %v, want %v", sum, eps)
+	}
+	if !ViolatesAllGoodRows(M, rr, delta, q) {
+		t.Error("adversary vector does not violate all good rows")
+	}
+}
+
+func TestAdversaryVectorIgnoresBadRows(t *testing.T) {
+	r := rng.New(4)
+	// One row with huge entries everywhere (not good): must not prevent
+	// construction, and the checker must skip it.
+	M := [][]float64{
+		{10, 10, 10, 10},
+		{0, 0, 0, 0},
+	}
+	q, _ := AdversaryVector(M, 2, 0.5, 0.1, r)
+	if !ViolatesAllGoodRows(M, 2, 0.1, q) {
+		t.Error("good row not violated")
+	}
+}
+
+func TestRecursionMonotoneAndBounded(t *testing.T) {
+	seq := Recursion(100, 1e6, 10)
+	if seq[0] != 100 {
+		t.Errorf("C1 = %v", seq[0])
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] != math.Sqrt(1e6*seq[i-1]) {
+			t.Fatalf("recursion broken at %d", i)
+		}
+	}
+	// The sequence converges to the fixed point a.
+	if math.Abs(seq[9]-1e6)/1e6 > 0.2 {
+		t.Errorf("sequence did not approach fixed point: %v", seq[9])
+	}
+}
+
+// TestMinTStarGrowsLikeLogLog is the Theorem 13 shape: for b = φ·s = log²n,
+// the minimal feasible t* tracks log log n.
+func TestMinTStarGrowsLikeLogLog(t *testing.T) {
+	prev := 0
+	for _, e := range []int{8, 16, 32, 64, 128, 256} {
+		n := math.Pow(2, float64(e))
+		l2 := math.Log2(n)
+		tstar := MinTStar(n, l2*l2, l2*l2)
+		if tstar < prev {
+			t.Errorf("t* decreased: n=2^%d gives %d after %d", e, tstar, prev)
+		}
+		prev = tstar
+		loglog := math.Log2(math.Log2(n))
+		// Within a small additive/multiplicative band of log log n.
+		if float64(tstar) > 3*loglog+4 {
+			t.Errorf("n=2^%d: t* = %d too large vs loglog %v", e, tstar, loglog)
+		}
+	}
+	// Strict growth over a wide range confirms unboundedness.
+	small := MinTStar(1<<8, 64, 64)
+	large := MinTStar(math.Pow(2, 512), 81, 81)
+	if large <= small {
+		t.Errorf("t* not growing: %d vs %d", small, large)
+	}
+}
+
+func TestMinTStarLog2Consistent(t *testing.T) {
+	for _, e := range []float64{8, 32, 128, 512} {
+		a := MinTStar(math.Pow(2, e), e*e, e*e)
+		b := MinTStarLog2(e, e*e, e*e)
+		if a != b {
+			t.Errorf("e=%v: MinTStar %d != MinTStarLog2 %d", e, a, b)
+		}
+	}
+	// Log2 form reaches far beyond float64 range and keeps growing.
+	small := MinTStarLog2(64, 64*64, 64*64)
+	huge := MinTStarLog2(1<<20, 400, 400)
+	if huge <= small {
+		t.Errorf("t* not growing into the huge range: %d vs %d", small, huge)
+	}
+	if got := MinTStarLog2(0, 10, 10); got != 1 {
+		t.Errorf("log2N=0: %d", got)
+	}
+}
+
+func TestMinTStarDegenerate(t *testing.T) {
+	if got := MinTStar(1, 10, 10); got != 1 {
+		t.Errorf("n=1: %d", got)
+	}
+	if got := MinTStar(0, 10, 10); got != 1 {
+		t.Errorf("n=0: %d", got)
+	}
+}
+
+func distinctKeys(r *rng.RNG, n int) []uint64 {
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := r.Uint64n(hash.MaxKey)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestPlayGameOnRealDictionary runs the Lemma 14 accounting on the actual
+// low-contention dictionary: the information bound must be feasible (the
+// scheme is correct), replicated rounds must contribute ≈ 1 cell of
+// information, and the data round ≈ n cells.
+func TestPlayGameOnRealDictionary(t *testing.T) {
+	r := rng.New(5)
+	keys := distinctKeys(r, 512)
+	d, err := core.Build(keys, core.Params{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]cellprobe.ProbeSpec, len(keys))
+	for i, k := range keys {
+		specs[i] = d.ProbeSpec(k)
+	}
+	res := PlayGame(specs, 128)
+	if res.Instances != len(keys) {
+		t.Errorf("instances = %d", res.Instances)
+	}
+	if !res.Feasible() {
+		t.Errorf("correct scheme reported infeasible: total %v < required %v", res.TotalBits, res.RequiredBits)
+	}
+	// Coefficient rounds: every instance reads the same full-row span, so
+	// the union bound is exactly 1 cell of information.
+	for i := 0; i < 8; i++ {
+		if math.Abs(res.Rounds[i].InfoRate-1) > 1e-9 {
+			t.Errorf("coefficient round %d info rate %v, want 1", i, res.Rounds[i].InfoRate)
+		}
+	}
+	// Final (data) round: point probes, nearly all distinct.
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.InfoRate < float64(len(keys))*0.9 {
+		t.Errorf("data round info rate %v, want ≈ %d", last.InfoRate, len(keys))
+	}
+	// The adversary's constraint quantity is finite and ≤ 1.
+	for _, round := range res.Rounds {
+		if round.MaxCellProb <= 0 || round.MaxCellProb > 1+1e-9 {
+			t.Errorf("round %d max cell prob %v", round.Step, round.MaxCellProb)
+		}
+	}
+}
+
+func TestPlayGameEmpty(t *testing.T) {
+	res := PlayGame(nil, 128)
+	if res.TotalBits != 0 || len(res.Rounds) != 0 {
+		t.Errorf("empty game: %+v", res)
+	}
+	if res.RequiredBits != 0 {
+		t.Errorf("required bits %v", res.RequiredBits)
+	}
+}
+
+func BenchmarkColumnMaxSum1024(b *testing.B) {
+	r := rng.New(1)
+	spans := make([][]cellprobe.Span, 1024)
+	for i := range spans {
+		start := r.Intn(4096)
+		spans[i] = []cellprobe.Span{{Start: start, Count: 1 + r.Intn(64), Mass: 1}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ColumnMaxSum(spans)
+	}
+}
+
+func BenchmarkVCDimMembership12(b *testing.B) {
+	p := Membership(12, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if VCDim(p) != 6 {
+			b.Fatal("wrong VC dim")
+		}
+	}
+}

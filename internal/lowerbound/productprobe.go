@@ -1,0 +1,68 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ProductProbe simulates a single randomized cell probe with distribution p
+// over [s] by a product-space cell probe (Appendix A, Lemma 19): every cell
+// is probed independently, which is what lets Lemma 21 couple n parallel
+// instances so their union of probed cells is small.
+//
+// Procedure (verbatim from the proof): probe each cell i independently with
+// probability p'_i = min(p_i, ½), giving the set J; fail unless |J| = 1;
+// if J = {i}, fail with probability ε_i = min(p_i, 1−p_i). On success the
+// returned cell is distributed exactly according to p, and the success
+// probability is at least ¼.
+//
+// It returns the probed set J (always), the simulated cell, and whether the
+// simulation succeeded.
+func ProductProbe(p []float64, r *rng.RNG) (J []int, cell int, ok bool) {
+	for i, pi := range p {
+		pp := pi
+		if pp > 0.5 {
+			pp = 0.5
+		}
+		if r.Float64() < pp {
+			J = append(J, i)
+		}
+	}
+	if len(J) != 1 {
+		return J, 0, false
+	}
+	i := J[0]
+	eps := p[i]
+	if 1-p[i] < eps {
+		eps = 1 - p[i]
+	}
+	if r.Float64() < eps {
+		return J, 0, false
+	}
+	return J, i, true
+}
+
+// ValidateProbeDist checks that p is a probability distribution with at
+// most one entry above ½ (the two cases of the Lemma 19 proof cover exactly
+// these; a distribution cannot have two entries > ½).
+func ValidateProbeDist(p []float64) error {
+	total := 0.0
+	big := 0
+	for i, pi := range p {
+		if pi < 0 || pi > 1 {
+			return fmt.Errorf("lowerbound: p[%d] = %v", i, pi)
+		}
+		if pi > 0.5 {
+			big++
+		}
+		total += pi
+	}
+	if total > 1+1e-9 {
+		return fmt.Errorf("lowerbound: probe distribution sums to %v", total)
+	}
+	if big > 1 {
+		return fmt.Errorf("lowerbound: %d entries exceed 1/2", big)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// runProductProbe estimates the success rate and conditional distribution.
+func runProductProbe(t *testing.T, p []float64, trials int, seed uint64) (successRate float64, cond []float64) {
+	t.Helper()
+	if err := ValidateProbeDist(p); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	counts := make([]int, len(p))
+	successes := 0
+	for i := 0; i < trials; i++ {
+		_, cell, ok := ProductProbe(p, r)
+		if ok {
+			successes++
+			counts[cell]++
+		}
+	}
+	cond = make([]float64, len(p))
+	for i, c := range counts {
+		if successes > 0 {
+			cond[i] = float64(c) / float64(successes)
+		}
+	}
+	return float64(successes) / float64(trials), cond
+}
+
+// TestProductProbeCase1 — all p_i ≤ 1/2 (proof case 1): success ≥ 1/4 and
+// the conditional distribution equals p.
+func TestProductProbeCase1(t *testing.T) {
+	p := []float64{0.3, 0.2, 0.1, 0.25, 0.15}
+	rate, cond := runProductProbe(t, p, 400000, 1)
+	if rate < 0.25 {
+		t.Errorf("success rate %v below 1/4", rate)
+	}
+	for i := range p {
+		if math.Abs(cond[i]-p[i]) > 0.01 {
+			t.Errorf("conditional[%d] = %v, want %v", i, cond[i], p[i])
+		}
+	}
+}
+
+// TestProductProbeCase2 — one p_0 > 1/2 (proof case 2).
+func TestProductProbeCase2(t *testing.T) {
+	p := []float64{0.7, 0.1, 0.1, 0.1}
+	rate, cond := runProductProbe(t, p, 400000, 2)
+	if rate < 0.25 {
+		t.Errorf("success rate %v below 1/4", rate)
+	}
+	for i := range p {
+		if math.Abs(cond[i]-p[i]) > 0.01 {
+			t.Errorf("conditional[%d] = %v, want %v", i, cond[i], p[i])
+		}
+	}
+}
+
+// TestProductProbeDeterministicPoint — p concentrated on one cell.
+func TestProductProbePoint(t *testing.T) {
+	p := []float64{0, 1, 0}
+	rate, cond := runProductProbe(t, p, 100000, 3)
+	// p' = 1/2, ε = 0: succeed whenever exactly cell 1 is probed: 1/2.
+	if rate < 0.45 || rate > 0.55 {
+		t.Errorf("point success rate %v, want ≈ 1/2", rate)
+	}
+	if cond[1] != 1 {
+		t.Errorf("conditional = %v, want all mass on 1", cond)
+	}
+}
+
+// TestProductProbeUniform — the spread case the dictionary relies on.
+func TestProductProbeUniform(t *testing.T) {
+	const s = 16
+	p := make([]float64, s)
+	for i := range p {
+		p[i] = 1.0 / s
+	}
+	rate, cond := runProductProbe(t, p, 400000, 4)
+	// ρ = (1 − 1/s)^s → 1/e; success = ρ·Σp(1−p)... ≥ 1/4 per the lemma.
+	if rate < 0.25 {
+		t.Errorf("uniform success rate %v below 1/4", rate)
+	}
+	for i := range p {
+		if math.Abs(cond[i]-p[i]) > 0.01 {
+			t.Errorf("conditional[%d] = %v, want %v", i, cond[i], p[i])
+		}
+	}
+}
+
+// TestProductProbeIsProductSpace — the defining property: cell memberships
+// of J are independent across cells. Check pairwise independence
+// empirically on two cells.
+func TestProductProbeIsProductSpace(t *testing.T) {
+	p := []float64{0.4, 0.3, 0.2}
+	r := rng.New(5)
+	const trials = 300000
+	var c0, c1, both int
+	for i := 0; i < trials; i++ {
+		J, _, _ := ProductProbe(p, r)
+		in0, in1 := false, false
+		for _, j := range J {
+			if j == 0 {
+				in0 = true
+			}
+			if j == 1 {
+				in1 = true
+			}
+		}
+		if in0 {
+			c0++
+		}
+		if in1 {
+			c1++
+		}
+		if in0 && in1 {
+			both++
+		}
+	}
+	p0 := float64(c0) / trials
+	p1 := float64(c1) / trials
+	pBoth := float64(both) / trials
+	if math.Abs(pBoth-p0*p1) > 0.005 {
+		t.Errorf("J not a product space: P(0∧1)=%v, P(0)P(1)=%v", pBoth, p0*p1)
+	}
+}
+
+func TestValidateProbeDist(t *testing.T) {
+	good := [][]float64{
+		{0.5, 0.5},
+		{1},
+		{0.7, 0.2},
+		{},
+	}
+	for i, p := range good {
+		if err := ValidateProbeDist(p); err != nil {
+			t.Errorf("good dist %d rejected: %v", i, err)
+		}
+	}
+	bad := [][]float64{
+		{0.8, 0.8}, // sums over 1 and two entries > 1/2
+		{-0.1, 0.5},
+		{1.2},
+		{0.6, 0.6}, // two entries > 1/2
+	}
+	for i, p := range bad {
+		if err := ValidateProbeDist(p); err == nil {
+			t.Errorf("bad dist %d accepted", i)
+		}
+	}
+}

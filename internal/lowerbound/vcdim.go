@@ -1,0 +1,141 @@
+// Package lowerbound implements the machinery of the paper's §3: the
+// VC-dimension view of data-structure problems (Definition 11), the
+// probe-specification communication game of Lemma 14, the adversary of
+// Lemma 15, the column-max bound of Lemma 16, the information recursion
+// E[C_t] ≤ √(a·E[C_{t−1}]), and a numeric solver for the minimal probe
+// count t* consistent with Theorem 13 — the Ω(log log n) lower bound for
+// balanced schemes under arbitrary query distributions.
+package lowerbound
+
+import "math/bits"
+
+// Problem is an explicit data-structure problem f : Q × D → {0,1},
+// represented as one row per data set: Rows[S] has bit x set iff
+// f(x, S) = 1. Q must have at most 64 queries for this explicit form
+// (the brute-force VC computation is exponential anyway).
+type Problem struct {
+	NumQueries int
+	Rows       []uint64
+}
+
+// Membership constructs the membership problem restricted to a universe of
+// numQueries elements and all data sets of size setSize — the problem whose
+// VC-dimension is exactly setSize (§3).
+func Membership(numQueries, setSize int) Problem {
+	if numQueries < 0 || numQueries > 64 {
+		panic("lowerbound: membership universe must have 0..64 elements")
+	}
+	p := Problem{NumQueries: numQueries}
+	// Enumerate all subsets of the right popcount.
+	for mask := uint64(0); mask < 1<<uint(numQueries); mask++ {
+		if bits.OnesCount64(mask) == setSize {
+			p.Rows = append(p.Rows, mask)
+		}
+	}
+	return p
+}
+
+// Interval constructs the 1-dimensional interval-stabbing problem on a
+// universe of numQueries points: data sets are the closed intervals
+// [a, b] ⊆ [0, numQueries), and f(x, [a,b]) = 1 iff a ≤ x ≤ b. Its
+// VC-dimension is exactly 2 — the classic textbook example — so it gives
+// Theorem 13 a non-membership instance with small, known dimension.
+func Interval(numQueries int) Problem {
+	if numQueries < 0 || numQueries > 64 {
+		panic("lowerbound: interval universe must have 0..64 points")
+	}
+	p := Problem{NumQueries: numQueries}
+	for a := 0; a < numQueries; a++ {
+		for b := a; b < numQueries; b++ {
+			var row uint64
+			for x := a; x <= b; x++ {
+				row |= 1 << uint(x)
+			}
+			p.Rows = append(p.Rows, row)
+		}
+	}
+	return p
+}
+
+// Threshold constructs the predecessor-style threshold problem: data sets
+// are thresholds t ∈ [0, numQueries], and f(x, t) = 1 iff x < t. Its
+// VC-dimension is exactly 1 (half-lines on a line shatter one point).
+func Threshold(numQueries int) Problem {
+	if numQueries < 0 || numQueries > 64 {
+		panic("lowerbound: threshold universe must have 0..64 points")
+	}
+	p := Problem{NumQueries: numQueries}
+	for t := 0; t <= numQueries; t++ {
+		var row uint64
+		for x := 0; x < t; x++ {
+			row |= 1 << uint(x)
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p
+}
+
+// Parity constructs the subset-parity problem: data sets are all subsets
+// S of the universe, and f(x, S) = 1 iff x ∈ S... with all 2^q subsets as
+// rows, every assignment is realized, so VC-dimension = numQueries — the
+// maximal ("non-degenerate" in the paper's phrase) case.
+func Parity(numQueries int) Problem {
+	if numQueries < 0 || numQueries > 20 {
+		panic("lowerbound: parity universe must have 0..20 points (2^q rows)")
+	}
+	p := Problem{NumQueries: numQueries}
+	for mask := uint64(0); mask < 1<<uint(numQueries); mask++ {
+		p.Rows = append(p.Rows, mask)
+	}
+	return p
+}
+
+// VCDim computes the exact VC-dimension of the problem by brute force:
+// the largest k such that some k queries are shattered — every one of the
+// 2^k boolean assignments is realized by some data set (Definition 11).
+func VCDim(p Problem) int {
+	if len(p.Rows) == 0 || p.NumQueries == 0 {
+		return 0
+	}
+	best := 0
+	shattered := func(subset []int) bool {
+		k := len(subset)
+		need := 1 << uint(k)
+		if len(p.Rows) < need {
+			return false
+		}
+		seen := make(map[uint64]bool, need)
+		count := 0
+		for _, row := range p.Rows {
+			var pat uint64
+			for i, x := range subset {
+				if row>>uint(x)&1 == 1 {
+					pat |= 1 << uint(i)
+				}
+			}
+			if !seen[pat] {
+				seen[pat] = true
+				count++
+				if count == need {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var rec func(start int, subset []int)
+	rec = func(start int, subset []int) {
+		if len(subset) > best && shattered(subset) {
+			best = len(subset)
+		}
+		for x := start; x < p.NumQueries; x++ {
+			// Prune: even using every remaining query we cannot beat best.
+			if len(subset)+p.NumQueries-x <= best {
+				return
+			}
+			rec(x+1, append(subset, x))
+		}
+	}
+	rec(0, nil)
+	return best
+}

@@ -1,0 +1,43 @@
+package memsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Example shows the §1 hot-spot effect in miniature: four processors that
+// all need cell 0 first serialize on it, while spread probes run parallel.
+func Example() {
+	hot := [][]int{{0, 10}, {0, 11}, {0, 12}, {0, 13}}
+	spread := [][]int{{0, 10}, {1, 11}, {2, 12}, {3, 13}}
+	fmt.Println("hot-cell makespan:   ", memsim.Run(hot, memsim.Config{}).Makespan)
+	fmt.Println("spread makespan:     ", memsim.Run(spread, memsim.Config{}).Makespan)
+	// With combining hardware the hot cell broadcasts in one cycle.
+	fmt.Println("hot with combining:  ", memsim.Run(hot, memsim.Config{Combining: true}).Makespan)
+	// Output:
+	// hot-cell makespan:    5
+	// spread makespan:      2
+	// hot with combining:   2
+}
+
+// ExampleRunOpen shows saturation: a single cell serves one query per
+// cycle, so two arrivals per cycle build an ever-growing queue.
+func ExampleRunOpen() {
+	const q = 60
+	seqs := make([][]int, q)
+	overload := make([]int, q)
+	underload := make([]int, q)
+	for i := range seqs {
+		seqs[i] = []int{7}
+		overload[i] = i / 2  // λ = 2
+		underload[i] = i * 2 // λ = 0.5
+	}
+	over, _ := memsim.RunOpen(seqs, overload, memsim.Config{})
+	under, _ := memsim.RunOpen(seqs, underload, memsim.Config{})
+	fmt.Printf("λ=2.0: max latency %d\n", over.MaxLatency)
+	fmt.Printf("λ=0.5: max latency %d\n", under.MaxLatency)
+	// Output:
+	// λ=2.0: max latency 31
+	// λ=0.5: max latency 1
+}

@@ -1,0 +1,183 @@
+package modarith
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func bigP() *big.Int { return new(big.Int).SetUint64(P) }
+
+func TestReduceFixedPoints(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, 1},
+		{P - 1, P - 1},
+		{P, 0},
+		{P + 1, 1},
+		{2 * P, 0},
+		{^uint64(0), Reduce(^uint64(0))},
+	}
+	for _, c := range cases {
+		if got := Reduce(c.in); got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got := Reduce(c.in); got >= P {
+			t.Errorf("Reduce(%d) = %d out of range", c.in, got)
+		}
+	}
+}
+
+func TestReduceMatchesBig(t *testing.T) {
+	f := func(x uint64) bool {
+		want := new(big.Int).Mod(new(big.Int).SetUint64(x), bigP()).Uint64()
+		return Reduce(x) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a, b = Reduce(a), Reduce(b)
+		want := new(big.Int).Add(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, bigP())
+		return Add(a, b) == want.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubNegIdentities(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a, b = Reduce(a), Reduce(b)
+		if Add(Sub(a, b), b) != a {
+			return false
+		}
+		if Add(a, Neg(a)) != 0 {
+			return false
+		}
+		return Sub(a, b) == Add(a, Neg(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a, b = Reduce(a), Reduce(b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, bigP())
+		return Mul(a, b) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulEdgeValues(t *testing.T) {
+	edge := []uint64{0, 1, 2, P - 2, P - 1, 1 << 60, (1 << 60) + 1}
+	for _, a := range edge {
+		for _, b := range edge {
+			want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+			want.Mod(want, bigP())
+			if got := Mul(a, b); got != want.Uint64() {
+				t.Errorf("Mul(%d,%d) = %d, want %d", a, b, got, want.Uint64())
+			}
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(2, 61); got != 1 {
+		// 2^61 = P + 1 ≡ 1 (mod P)
+		t.Errorf("Pow(2,61) = %d, want 1", got)
+	}
+	if got := Pow(3, 0); got != 1 {
+		t.Errorf("Pow(3,0) = %d, want 1", got)
+	}
+	if got := Pow(0, 5); got != 0 {
+		t.Errorf("Pow(0,5) = %d, want 0", got)
+	}
+	f := func(a uint64, e uint8) bool {
+		a = Reduce(a)
+		want := new(big.Int).Exp(new(big.Int).SetUint64(a), big.NewInt(int64(e)), bigP())
+		return Pow(a, uint64(e)) == want.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	f := func(a uint64) bool {
+		a = Reduce(a)
+		if a == 0 {
+			return true
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestPolyEvalKnown(t *testing.T) {
+	// 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38
+	if got := PolyEval([]uint64{3, 2, 1}, 5); got != 38 {
+		t.Errorf("PolyEval = %d, want 38", got)
+	}
+	if got := PolyEval(nil, 7); got != 0 {
+		t.Errorf("PolyEval(nil) = %d, want 0", got)
+	}
+	if got := PolyEval([]uint64{42}, 9999); got != 42 {
+		t.Errorf("constant PolyEval = %d, want 42", got)
+	}
+}
+
+func TestPolyEvalMatchesBig(t *testing.T) {
+	f := func(c0, c1, c2, c3, x uint64) bool {
+		coef := []uint64{c0, c1, c2, c3}
+		want := big.NewInt(0)
+		xb := new(big.Int).SetUint64(Reduce(x))
+		for i := len(coef) - 1; i >= 0; i-- {
+			want.Mul(want, xb)
+			want.Add(want, new(big.Int).SetUint64(Reduce(coef[i])))
+			want.Mod(want, bigP())
+		}
+		return PolyEval(coef, x) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := uint64(0x1234567890abcde), uint64(0x0fedcba987654321)&P
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Mul(x, sink^y)
+	}
+	_ = sink
+}
+
+func BenchmarkPolyEval4(b *testing.B) {
+	coef := []uint64{12345, 67890, 13579, 24680}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = PolyEval(coef, sink|1)
+	}
+	_ = sink
+}

@@ -1,0 +1,113 @@
+// Package prime provides deterministic 64-bit primality testing and prime
+// search. The hash-family substrates use it to pick prime moduli for
+// auxiliary pairwise-independent families, and tests use it to validate the
+// Mersenne field order.
+package prime
+
+import "math/bits"
+
+// mulmod returns (a * b) mod m without overflow for any a, b, m < 2^64, m > 0.
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powmod returns a^e mod m.
+func powmod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulmod(result, a, m)
+		}
+		a = mulmod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// millerRabinWitnesses is a base set proven sufficient for deterministic
+// primality testing of every n < 2^64 (Sinclair's 7-base set).
+var millerRabinWitnesses = [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}
+
+// IsPrime reports whether n is prime, deterministically correct for all
+// n < 2^64.
+func IsPrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n%2 == 0:
+		return false
+	}
+	// Write n-1 = d * 2^r with d odd.
+	d := n - 1
+	r := uint(0)
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	for _, a := range millerRabinWitnesses {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		x := powmod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := uint(1); i < r; i++ {
+			x = mulmod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the smallest prime ≥ n. It panics if no prime ≥ n fits in a
+// uint64 (n beyond 18446744073709551557, the largest 64-bit prime).
+func Next(n uint64) uint64 {
+	const maxPrime = 18446744073709551557
+	if n > maxPrime {
+		panic("prime: no 64-bit prime ≥ n")
+	}
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+// Prev returns the largest prime ≤ n. It panics if n < 2.
+func Prev(n uint64) uint64 {
+	if n < 2 {
+		panic("prime: no prime ≤ n")
+	}
+	if n == 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n--
+	}
+	for !IsPrime(n) {
+		n -= 2
+	}
+	return n
+}

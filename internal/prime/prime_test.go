@@ -1,0 +1,118 @@
+package prime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func trialDivisionIsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	for n := uint64(0); n < 2000; n++ {
+		if got, want := IsPrime(n), trialDivisionIsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeKnownLarge(t *testing.T) {
+	primes := []uint64{
+		(1 << 61) - 1,          // Mersenne prime used by modarith
+		2147483647,             // 2^31 - 1
+		4294967311,             // smallest prime > 2^32
+		18446744073709551557,   // largest 64-bit prime
+		1000000007, 1000000009, // common competitive-programming primes
+	}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	composites := []uint64{
+		(1 << 61), (1 << 61) - 3, // neighbors of the Mersenne prime
+		18446744073709551615, // 2^64 - 1 = 3·5·17·257·641·65537·6700417
+		3215031751,           // strong pseudoprime to bases 2,3,5,7
+		341, 561, 1105, 1729, // Carmichael / Fermat pseudoprimes
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestIsPrimeMatchesTrialDivisionRandom(t *testing.T) {
+	f := func(x uint32) bool {
+		n := uint64(x)
+		return IsPrime(n) == trialDivisionIsPrime(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNext(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {90, 97},
+		{1 << 32, 4294967311},
+	}
+	for _, c := range cases {
+		if got := Next(c.in); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrev(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{2, 2}, {3, 3}, {4, 3}, {10, 7}, {100, 97},
+		{1 << 61, (1 << 61) - 1},
+	}
+	for _, c := range cases {
+		if got := Prev(c.in); got != c.want {
+			t.Errorf("Prev(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNextPrevRoundTrip(t *testing.T) {
+	f := func(x uint32) bool {
+		n := uint64(x) + 2
+		p := Next(n)
+		if !IsPrime(p) || p < n {
+			return false
+		}
+		q := Prev(p)
+		return q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrevPanicsBelowTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Prev(1) did not panic")
+		}
+	}()
+	Prev(1)
+}
+
+func BenchmarkIsPrimeMersenne61(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !IsPrime((1 << 61) - 1) {
+			b.Fatal("wrong answer")
+		}
+	}
+}

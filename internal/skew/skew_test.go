@@ -1,0 +1,172 @@
+package skew
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+func distinctKeys(r *rng.RNG, n int) []uint64 {
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := r.Uint64n(hash.MaxKey)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestMembershipWithSkew(t *testing.T) {
+	r := rng.New(1)
+	keys := distinctKeys(r, 500)
+	zipf := dist.NewZipf(keys, 1.1)
+	d, err := Build(zipf.Support(), Params{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 500 {
+		t.Errorf("N = %d", d.N())
+	}
+	if d.HotKeys() == 0 || d.Replicas() == 0 {
+		t.Fatalf("no hot store built: hot=%d replicas=%d", d.HotKeys(), d.Replicas())
+	}
+	inSet := make(map[uint64]bool, len(keys))
+	qr := rng.New(3)
+	for _, k := range keys {
+		inSet[k] = true
+		ok, err := d.Contains(k, qr)
+		if err != nil || !ok {
+			t.Fatalf("lost key %d (err %v)", k, err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		x := qr.Uint64n(hash.MaxKey)
+		if inSet[x] {
+			continue
+		}
+		ok, err := d.Contains(x, qr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("phantom key %d", x)
+		}
+	}
+}
+
+func TestUniformInputBuildsNoHotStore(t *testing.T) {
+	r := rng.New(4)
+	keys := distinctKeys(r, 300)
+	u := dist.NewUniformSet(keys, "")
+	d, err := Build(u.Support(), Params{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform weights are all 1/n < 4/n: nothing is hot.
+	if d.HotKeys() != 0 || d.Replicas() != 0 {
+		t.Errorf("uniform input built a hot store: %d keys × %d", d.HotKeys(), d.Replicas())
+	}
+}
+
+// TestSkewRepairsZipfContention is the extension's claim: for a Zipf
+// distribution the known-q dictionary's exact contention ratio is several
+// times lower than the oblivious dictionary's.
+func TestSkewRepairsZipfContention(t *testing.T) {
+	r := rng.New(6)
+	keys := distinctKeys(r, 2048)
+	zipf := dist.NewZipf(keys, 1.1)
+	support := zipf.Support()
+
+	plain, err := core.Build(keys, core.Params{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPhi, _, err := exactTable(plain, support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRatio := plainPhi * float64(plain.Table().Size())
+
+	d, err := Build(support, Params{Replicas: 8}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Analyze(support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("zipf(1.1): plain ratio %.0f, skew-aware ratio %.0f (hot %d keys × %d copies, hot share %.2f)",
+		plainRatio, a.RatioStep(), d.HotKeys(), d.Replicas(), a.HotShare)
+	if a.RatioStep() > plainRatio/2 {
+		t.Errorf("skew-aware ratio %.0f not well below plain %.0f", a.RatioStep(), plainRatio)
+	}
+	if a.HotShare < 0.3 {
+		t.Errorf("hot share %.2f suspiciously low for zipf(1.1)", a.HotShare)
+	}
+	if a.Probes > float64(d.MaxProbes()) {
+		t.Errorf("probes %v exceed MaxProbes %d", a.Probes, d.MaxProbes())
+	}
+}
+
+// TestAnalyzeMatchesMonteCarlo cross-checks the multi-table analysis
+// against recorded queries on all tables.
+func TestAnalyzeMatchesMonteCarlo(t *testing.T) {
+	r := rng.New(8)
+	keys := distinctKeys(r, 400)
+	zipf := dist.NewZipf(keys, 1.0)
+	support := zipf.Support()
+	d, err := Build(support, Params{Replicas: 4}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Analyze(support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical probes per query.
+	qr := rng.New(10)
+	probeCount := 0
+	count := func(_, _ int) { probeCount++ }
+	d.cold.Table().SetTrace(count)
+	for _, h := range d.hot {
+		h.Table().SetTrace(count)
+	}
+	const queries = 30000
+	for i := 0; i < queries; i++ {
+		if _, err := d.Contains(zipf.Sample(qr), qr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.cold.Table().SetTrace(nil)
+	for _, h := range d.hot {
+		h.Table().SetTrace(nil)
+	}
+	got := float64(probeCount) / queries
+	if math.Abs(got-a.Probes) > 0.2 {
+		t.Errorf("empirical probes %v vs analysis %v", got, a.Probes)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]dist.Weighted{{Key: 1, P: -0.5}}, Params{}, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Build(nil, Params{Replicas: -1}, 1); err == nil {
+		t.Error("negative replicas accepted")
+	}
+	d, err := Build(nil, Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := rng.New(2)
+	if ok, _ := d.Contains(5, qr); ok {
+		t.Error("empty dictionary contains a key")
+	}
+}

@@ -1,0 +1,71 @@
+package lcds
+
+import (
+	"fmt"
+
+	"repro/internal/modarith"
+)
+
+// KeyOf maps an arbitrary byte string into the dictionary's key universe
+// [0, MaxKey) by evaluating a fixed-coefficient polynomial over the
+// Mersenne-61 field (a standard string fingerprint). The map is not
+// injective in principle; NewFromStrings verifies that the actual key set
+// is collision-free and fails otherwise (probability ≈ n²/2^61 for
+// adversarial-free inputs).
+func KeyOf(s string) uint64 {
+	// Polynomial rolling hash with fixed base over F_p; the base is an
+	// arbitrary odd 60-bit constant so results are stable across runs.
+	const base = 0x5bd1e995_9e3779b9 & (1<<60 - 1)
+	var acc uint64
+	for i := 0; i < len(s); i++ {
+		acc = modarith.Add(modarith.Mul(acc, base), uint64(s[i])+1)
+	}
+	// Mix in the length so "a" and "a\x00"-style prefixes differ even when
+	// trailing bytes hash to the identity.
+	return modarith.Add(modarith.Mul(acc, base), uint64(len(s)))
+}
+
+// NewFromStrings builds a dictionary over string members. It fingerprints
+// each string with KeyOf and rejects the (astronomically unlikely) case of
+// a fingerprint collision, which would make two distinct strings
+// indistinguishable.
+func NewFromStrings(members []string, opts ...Option) (*StringDict, error) {
+	keys := make([]uint64, len(members))
+	seen := make(map[uint64]string, len(members))
+	for i, s := range members {
+		k := KeyOf(s)
+		if prev, dup := seen[k]; dup {
+			if prev == s {
+				return nil, fmt.Errorf("lcds: duplicate member %q", s)
+			}
+			return nil, fmt.Errorf("lcds: fingerprint collision between %q and %q", prev, s)
+		}
+		seen[k] = s
+		keys[i] = k
+	}
+	d, err := New(keys, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &StringDict{inner: d}, nil
+}
+
+// StringDict answers membership queries over a static string set with the
+// low-contention guarantee of Dict.
+//
+// Because members are stored as 61-bit fingerprints, a Contains(true)
+// answer for a string outside the built set is possible with probability
+// ≈ 2^-61 per query (a false positive, as in any fingerprint filter);
+// false negatives cannot occur.
+type StringDict struct {
+	inner *Dict
+}
+
+// Contains reports whether s is a member.
+func (d *StringDict) Contains(s string) bool { return d.inner.Contains(KeyOf(s)) }
+
+// Len returns the number of members.
+func (d *StringDict) Len() int { return d.inner.Len() }
+
+// Dict exposes the underlying fingerprint dictionary.
+func (d *StringDict) Dict() *Dict { return d.inner }

@@ -1,0 +1,62 @@
+package lcds
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestKeyOfDistinctAndStable(t *testing.T) {
+	a1, a2 := KeyOf("alpha"), KeyOf("alpha")
+	if a1 != a2 {
+		t.Fatal("KeyOf not deterministic")
+	}
+	if a1 >= MaxKey {
+		t.Fatalf("KeyOf out of universe: %d", a1)
+	}
+	pairs := [][2]string{
+		{"", "a"},
+		{"a", "b"},
+		{"ab", "ba"},
+		{"a", "a\x00"},
+		{"alpha", "alphA"},
+	}
+	for _, p := range pairs {
+		if KeyOf(p[0]) == KeyOf(p[1]) {
+			t.Errorf("KeyOf(%q) == KeyOf(%q)", p[0], p[1])
+		}
+	}
+}
+
+func TestNewFromStrings(t *testing.T) {
+	members := make([]string, 500)
+	for i := range members {
+		members[i] = fmt.Sprintf("user-%d@example.com", i)
+	}
+	d, err := NewFromStrings(members, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 500 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	for _, m := range members {
+		if !d.Contains(m) {
+			t.Fatalf("missing member %q", m)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		s := fmt.Sprintf("stranger-%d@example.com", i)
+		if d.Contains(s) {
+			t.Fatalf("phantom member %q", s)
+		}
+	}
+	if d.Dict() == nil {
+		t.Error("Dict() returned nil")
+	}
+}
+
+func TestNewFromStringsRejectsDuplicates(t *testing.T) {
+	if _, err := NewFromStrings([]string{"x", "y", "x"}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+}
