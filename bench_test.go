@@ -1,8 +1,11 @@
 package lcds
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -240,6 +243,109 @@ func BenchmarkBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := New(keys, WithSeed(uint64(i+1))); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Goroutine-count scaling benchmarks ------------------------------------
+//
+// The refactor removed every shared mutable word from the read path: the
+// facade draws query randomness from a sharded source and the dynamic
+// dictionary publishes immutable epoch snapshots. These benchmarks pin the
+// goroutine count explicitly (1, 4, GOMAXPROCS) so a scaling regression —
+// per-op time growing with goroutines — is visible at a glance.
+
+func benchGoroutineCounts() []int {
+	counts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// runFanOut splits b.N across g goroutines, each running loop(seed, n).
+func runFanOut(b *testing.B, g int, loop func(seed uint64, n int)) {
+	b.Helper()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		n := b.N / g
+		if i == 0 {
+			n += b.N % g
+		}
+		wg.Add(1)
+		go func(seed uint64, n int) {
+			defer wg.Done()
+			loop(seed, n)
+		}(rand64(), n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkStaticContainsGoroutines queries a static Dict through the public
+// facade at fixed goroutine counts.
+func BenchmarkStaticContainsGoroutines(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := New(keys, WithSeed(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range benchGoroutineCounts() {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			runFanOut(b, g, func(seed uint64, n int) {
+				r := rng.New(seed)
+				for i := 0; i < n; i++ {
+					if !d.Contains(keys[r.Intn(len(keys))]) {
+						b.Error("lost key")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDynamicMixGoroutines drives the dynamic facade with read/write
+// mixes at fixed goroutine counts. Writers serialize on the internal writer
+// mutex while reads stay lock-free, so heavier write fractions should slow
+// the writing goroutines without dragging down readers.
+func BenchmarkDynamicMixGoroutines(b *testing.B) {
+	keys := testKeys(benchN+benchN/2, 4)
+	resident, extra := keys[:benchN], keys[benchN:]
+	for _, mix := range []struct {
+		name   string
+		writes int // percent of ops that mutate
+	}{{"reads", 0}, {"mix90r10w", 10}, {"mix50r50w", 50}} {
+		for _, g := range benchGoroutineCounts() {
+			b.Run(fmt.Sprintf("%s/g=%d", mix.name, g), func(b *testing.B) {
+				d, err := NewDynamic(resident, 0.5, WithSeed(6))
+				if err != nil {
+					b.Fatal(err)
+				}
+				runFanOut(b, g, func(seed uint64, n int) {
+					r := rng.New(seed)
+					for i := 0; i < n; i++ {
+						if r.Intn(100) < mix.writes {
+							k := extra[r.Intn(len(extra))]
+							var err error
+							if r.Intn(2) == 0 {
+								_, err = d.Insert(k)
+							} else {
+								_, err = d.Delete(k)
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						} else if ok, err := d.Contains(resident[r.Intn(len(resident))]); err != nil || !ok {
+							b.Errorf("resident key lookup: ok=%v err=%v", ok, err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				d.Quiesce()
+			})
 		}
 	}
 }

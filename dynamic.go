@@ -1,16 +1,9 @@
 package lcds
 
 import (
-	"sync"
-
 	"repro/internal/dynamic"
 	"repro/internal/rng"
 )
-
-// newQueryRNG derives a query generator from a counter-based state.
-func newQueryRNG(state uint64) *rng.RNG {
-	return rng.New(rng.SplitMix64(&state))
-}
 
 // DynamicDict is a mutable low-contention dictionary — the paper's §4
 // future-work direction, built as global rebuilding over the static
@@ -19,18 +12,15 @@ func newQueryRNG(state uint64) *rng.RNG {
 // which is the inherent cost the paper conjectures (see internal/dynamic
 // and experiment X1).
 //
-// All methods are safe for concurrent use; updates serialize internally.
+// All methods are safe for concurrent use. Contains and Len are lock-free:
+// they load the current epoch — an immutable (static snapshot, update
+// buffer) pair published through an atomic pointer — and probe it without
+// writing any shared cache line. Insert and Delete serialize on an internal
+// writer mutex; the ε·n global rebuild runs in a background goroutine while
+// the old epoch stays readable, so readers never stall behind it.
 type DynamicDict struct {
-	mu    sync.RWMutex
 	inner *dynamic.Dict
-	seed  uint64
-	rng   rngState
-}
-
-// rngState is a lock-free splitmix64 counter for query randomness.
-type rngState struct {
-	mu  sync.Mutex
-	ctr uint64
+	src   rng.Source
 }
 
 // NewDynamic builds a dynamic dictionary over the initial keys. bufferFrac
@@ -51,47 +41,40 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicDict{inner: inner, seed: cfg.o.seed}, nil
+	return &DynamicDict{inner: inner, src: cfg.o.querySource()}, nil
 }
 
-// Contains reports membership of x.
+// Contains reports membership of x. It acquires no lock and runs
+// concurrently with updates and rebuilds.
 func (d *DynamicDict) Contains(x uint64) (bool, error) {
-	d.rng.mu.Lock()
-	d.rng.ctr++
-	c := d.rng.ctr
-	d.rng.mu.Unlock()
-	s := d.seed + c
-	r := newQueryRNG(s)
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.inner.Contains(x, r)
+	return d.inner.Contains(x, d.src)
 }
 
 // Insert adds x; it reports whether the set changed.
 func (d *DynamicDict) Insert(x uint64) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.inner.Insert(x)
 }
 
 // Delete removes x; it reports whether the set changed.
 func (d *DynamicDict) Delete(x uint64) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.inner.Delete(x)
 }
 
-// Len returns the current number of keys.
+// Len returns the current number of keys without taking a lock.
 func (d *DynamicDict) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	return d.inner.Len()
 }
 
 // Rebuilds returns how many global rebuilds have occurred (≥ 1; the initial
-// construction counts as the first).
+// construction counts as the first). A rebuild in flight is counted once it
+// publishes; call Quiesce first for a settled figure.
 func (d *DynamicDict) Rebuilds() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	return d.inner.Stats().Epoch
+}
+
+// Quiesce blocks until any background rebuild in flight has published its
+// epoch. Useful before measuring or when deterministic rebuild counts
+// matter; normal operation never requires it.
+func (d *DynamicDict) Quiesce() {
+	d.inner.Quiesce()
 }

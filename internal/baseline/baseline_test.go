@@ -15,7 +15,7 @@ type structure interface {
 	N() int
 	Table() *cellprobe.Table
 	MaxProbes() int
-	Contains(x uint64, r *rng.RNG) (bool, error)
+	Contains(x uint64, r rng.Source) (bool, error)
 	ProbeSpec(x uint64) cellprobe.ProbeSpec
 }
 

@@ -92,7 +92,7 @@ func (d *Bloom) K() int { return d.k }
 
 // Contains reports (approximate) membership: false is always correct; true
 // is wrong with the filter's false-positive probability ≈ 2^−k.
-func (d *Bloom) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *Bloom) Contains(x uint64, r rng.Source) (bool, error) {
 	col := func() int {
 		if d.replicated {
 			return r.Intn(d.w)

@@ -60,7 +60,7 @@ func (d *BinarySearch) MaxProbes() int {
 }
 
 // Contains answers membership for x by standard binary search over probes.
-func (d *BinarySearch) Contains(x uint64, _ *rng.RNG) (bool, error) {
+func (d *BinarySearch) Contains(x uint64, _ rng.Source) (bool, error) {
 	lo, hi := 0, d.n-1
 	step := 0
 	for lo <= hi {

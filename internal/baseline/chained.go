@@ -113,7 +113,7 @@ func (d *Chained) Table() *cellprobe.Table { return d.tab }
 func (d *Chained) MaxProbes() int { return 2 + d.maxChain }
 
 // Contains answers membership by walking the chain through recorded probes.
-func (d *Chained) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *Chained) Contains(x uint64, r rng.Source) (bool, error) {
 	var pc cellprobe.Cell
 	if d.replicated {
 		pc = d.tab.Probe(0, chParamRow, r.Intn(d.w))

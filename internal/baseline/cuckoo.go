@@ -152,7 +152,7 @@ func (d *Cuckoo) Table() *cellprobe.Table { return d.tab }
 func (d *Cuckoo) MaxProbes() int { return cuckooRows }
 
 // Contains answers membership for x, reading only table cells.
-func (d *Cuckoo) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *Cuckoo) Contains(x uint64, r rng.Source) (bool, error) {
 	col := func() int {
 		if d.replicated {
 			return r.Intn(d.w)

@@ -187,7 +187,7 @@ func (d *DM) Table() *cellprobe.Table { return d.tab }
 func (d *DM) MaxProbes() int { return dmRows }
 
 // Contains answers membership for x, reading only table cells.
-func (d *DM) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *DM) Contains(x uint64, r rng.Source) (bool, error) {
 	fc := make([]uint64, dmD)
 	gc := make([]uint64, dmD)
 	for i := 0; i < dmD; i++ {

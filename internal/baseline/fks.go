@@ -140,7 +140,7 @@ func (d *FKS) MaxProbes() int { return d.maxProbes }
 func (d *FKS) TopTries() int { return d.topTries }
 
 // Contains answers membership for x, reading only table cells.
-func (d *FKS) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *FKS) Contains(x uint64, r rng.Source) (bool, error) {
 	var pc cellprobe.Cell
 	if d.replicated {
 		pc = d.tab.Probe(0, fksParamRow, r.Intn(d.w))

@@ -117,7 +117,7 @@ func (d *LinearProbing) MaxProbes() int { return d.maxChain + 2 }
 
 // Contains answers membership by walking the probe sequence until the key
 // or an empty slot is found.
-func (d *LinearProbing) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *LinearProbing) Contains(x uint64, r rng.Source) (bool, error) {
 	var pc cellprobe.Cell
 	if d.replicated {
 		pc = d.tab.Probe(0, lpParamRow, r.Intn(d.w))

@@ -73,7 +73,7 @@ func (d *ReplicatedBinarySearch) MaxProbes() int {
 }
 
 // Contains picks a random copy and binary-searches it.
-func (d *ReplicatedBinarySearch) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *ReplicatedBinarySearch) Contains(x uint64, r rng.Source) (bool, error) {
 	row := r.Intn(d.copies)
 	lo, hi := 0, d.n-1
 	step := 0

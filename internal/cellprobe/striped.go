@@ -1,0 +1,62 @@
+package cellprobe
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// stripePad pads each stripe to its own cache line so that concurrent
+// adders on different stripes never write the same line.
+const stripePad = 64
+
+type stripe struct {
+	n atomic.Uint64
+	_ [stripePad - 8]byte
+}
+
+// StripedCounter is a probe counter safe for concurrent addition from a
+// lock-free read path. Each adder lands on a per-goroutine stripe (cached
+// through a sync.Pool, so in the steady state each P owns one), keeping the
+// counter itself from becoming the shared hot cell the structures around it
+// are designed to avoid. Sum is a full-sweep read and may miss additions
+// concurrent with it; callers wanting an exact total must quiesce first.
+type StripedCounter struct {
+	stripes []stripe
+	mask    uint64
+	next    atomic.Uint64
+	pool    sync.Pool // *uint64: cached stripe index
+}
+
+// NewStripedCounter returns a counter with at least GOMAXPROCS stripes,
+// rounded up to a power of two.
+func NewStripedCounter() *StripedCounter {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	c := &StripedCounter{stripes: make([]stripe, n), mask: uint64(n - 1)}
+	c.pool.New = func() any {
+		i := new(uint64)
+		*i = c.next.Add(1) - 1
+		return i
+	}
+	return c
+}
+
+// Add adds delta to the calling goroutine's stripe.
+func (c *StripedCounter) Add(delta uint64) {
+	h := c.pool.Get().(*uint64)
+	i := *h & c.mask
+	c.pool.Put(h)
+	c.stripes[i].n.Add(delta)
+}
+
+// Sum returns the total across all stripes.
+func (c *StripedCounter) Sum() uint64 {
+	var total uint64
+	for i := range c.stripes {
+		total += c.stripes[i].n.Load()
+	}
+	return total
+}

@@ -31,7 +31,9 @@ type Structure interface {
 	// MaxProbes bounds the number of probes any query makes.
 	MaxProbes() int
 	// Contains answers membership, reading only table cells via probes.
-	Contains(x uint64, r *rng.RNG) (bool, error)
+	// The source supplies the replica choices; *rng.RNG and rng.Sharded
+	// both satisfy it.
+	Contains(x uint64, r rng.Source) (bool, error)
 	// ProbeSpec returns the exact per-step probe distribution for x.
 	ProbeSpec(x uint64) cellprobe.ProbeSpec
 }

@@ -11,7 +11,7 @@ import (
 // makes, writing a human-readable account of each step — which row was
 // probed, which replica was chosen, and what was learned. It is a debugging
 // and teaching aid; the answer and error semantics match Contains exactly.
-func (dict *Dict) Explain(x uint64, r *rng.RNG, w io.Writer) (bool, error) {
+func (dict *Dict) Explain(x uint64, r rng.Source, w io.Writer) (bool, error) {
 	p := func(format string, args ...interface{}) {
 		fmt.Fprintf(w, format+"\n", args...)
 	}

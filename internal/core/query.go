@@ -11,10 +11,11 @@ import (
 
 // Contains answers the membership query for x using the paper's §2.3
 // four-phase algorithm. Every value it uses is read from table cells via
-// recorded probes; the random generator chooses which replica each probe
-// reads. It returns an error only if the table is corrupt (failure
-// injection); on a well-formed table the answer is exact.
-func (dict *Dict) Contains(x uint64, r *rng.RNG) (bool, error) {
+// recorded probes; the random source chooses which replica each probe
+// reads. Pass an *rng.RNG for reproducible sequential queries or a shared
+// rng.Sharded for concurrent ones. It returns an error only if the table is
+// corrupt (failure injection); on a well-formed table the answer is exact.
+func (dict *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 	tab := dict.tab
 	d, s := dict.d, dict.s
 

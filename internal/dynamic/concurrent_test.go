@@ -1,0 +1,120 @@
+package dynamic
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestContainsDuringRebuild is the epoch design's headline property: a
+// global rebuild of a ≥10^4-key dictionary runs in the background while
+// readers keep completing against the still-published old epoch.
+func TestContainsDuringRebuild(t *testing.T) {
+	const n = 12000
+	keys := distinctKeys(rng.New(20), n+n/2)
+	d := mustNew(t, keys[:n], 21)
+	src := rng.NewSharded(22, 0)
+	probe := keys[0] // member of every epoch
+
+	completed := 0
+	for _, k := range keys[n:] {
+		if _, err := d.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		for guard := 0; d.Rebuilding() && guard < 1_000_000; guard++ {
+			ok, err := d.Contains(probe, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("key %d lost mid-rebuild", probe)
+			}
+			if d.Rebuilding() {
+				completed++
+			}
+		}
+		if completed > 0 {
+			break
+		}
+	}
+	d.Quiesce()
+	if completed == 0 {
+		t.Fatal("no Contains completed while a rebuild was in flight")
+	}
+	t.Logf("%d queries completed during one background rebuild of %d keys", completed, n)
+}
+
+// TestConcurrentMixedOps hammers the internal dictionary with parallel
+// readers, writers and Len calls; run it under -race. Correctness of the
+// answers is checked by the reader goroutines on a stable key range.
+func TestConcurrentMixedOps(t *testing.T) {
+	readers, writers, opsPerReader, opsPerWriter := 4, 2, 4000, 1500
+	if testing.Short() {
+		readers, writers, opsPerReader, opsPerWriter = 2, 1, 500, 200
+	}
+	keys := distinctKeys(rng.New(30), 3000)
+	stable, volatile := keys[:1000], keys[1000:]
+	d := mustNew(t, keys[:2000], 31) // stable keys + first half of volatile
+	src := rng.NewSharded(32, 0)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+writers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(100 + g))
+			for i := 0; i < opsPerReader; i++ {
+				k := stable[r.Intn(len(stable))]
+				ok, err := d.Contains(k, src)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !ok {
+					t.Errorf("stable key %d reported absent", k)
+					return
+				}
+				if d.Len() < len(stable) {
+					t.Errorf("Len %d below stable floor %d", d.Len(), len(stable))
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(200 + g))
+			for i := 0; i < opsPerWriter; i++ {
+				k := volatile[r.Intn(len(volatile))]
+				var err error
+				if r.Intn(2) == 0 {
+					_, err = d.Insert(k)
+				} else {
+					_, err = d.Delete(k)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	d.Quiesce()
+	// Post-quiesce, the structure must still agree with itself.
+	qr := rng.New(33)
+	for _, k := range stable {
+		ok, err := d.Contains(k, qr)
+		if err != nil || !ok {
+			t.Fatalf("stable key %d missing after hammer (err %v)", k, err)
+		}
+	}
+}

@@ -15,6 +15,21 @@
 //     from the current key set, giving amortized O(1/ε) work per update
 //     on top of the static O(n) construction.
 //
+// # Concurrency model
+//
+// The pair (static snapshot, update buffer) forms an immutable *epoch*
+// published through an atomic pointer — the RCU discipline of lock-free
+// open-addressing tables (Gao–Groote–Hesselink). Readers load the current
+// epoch and probe it without taking any lock: the static table is immutable
+// and the buffer's slot words are single atomic loads. Writers serialize on
+// a mutex, publish each update with one atomic slot store, and when the
+// buffer fills hand the ε·n global rebuild to a background goroutine; the
+// old epoch stays fully readable until the new one is swapped in, at which
+// point updates that arrived mid-rebuild are replayed into the fresh
+// buffer. A membership query therefore performs zero shared mutable-memory
+// writes outside the probed cells (read-probe statistics go to a striped
+// counter, itself padded per goroutine).
+//
 // Read contention stays within a constant of the static dictionary's: the
 // buffer's parameter row is replicated and its slot probes are spread by
 // hashing. Update contention is the interesting quantity the paper asks
@@ -25,6 +40,7 @@ package dynamic
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cellprobe"
@@ -33,12 +49,20 @@ import (
 	"repro/internal/rng"
 )
 
-// Slot tags in the buffer table (cell.Hi).
+// Slot tags in the buffer (the top bits of a packed slot word).
 const (
 	slotEmpty    = uint64(0)
 	slotInserted = uint64(1)
 	slotDeleted  = uint64(2) // tombstone for a snapshot key
 	slotVacated  = uint64(3) // removed buffer entry; keeps probe chains intact
+)
+
+// A buffer slot packs (tag, key) into one word so that readers and the
+// writer exchange it with single atomic operations: keys are < 2^61, the
+// tag takes the bits above.
+const (
+	tagShift = 61
+	keyMask  = uint64(1)<<tagShift - 1
 )
 
 const (
@@ -54,6 +78,12 @@ type Params struct {
 	Epsilon float64
 	// Static configures the underlying static construction.
 	Static core.Params
+	// SyncRebuild runs global rebuilds inline on the triggering update
+	// instead of in a background goroutine. Readers are never blocked
+	// either way; synchronous mode makes the epoch sequence deterministic
+	// for reproducible experiments (X1) at the cost of O(n) update-call
+	// latency at each rebuild.
+	SyncRebuild bool
 }
 
 // Stats describes the dictionary's dynamic behaviour.
@@ -66,36 +96,101 @@ type Stats struct {
 	RebuildKeys     int    // total keys across all rebuilds (amortization numerator)
 	Updates         int    // total Insert/Delete calls that changed state
 	ReadProbes      uint64 // probes issued by Contains (static probes counted at MaxProbes)
-	WriteProbes     uint64 // probes and writes issued by Insert/Delete
+	WriteProbes     uint64 // probes and writes issued by Insert/Delete (replays included)
 	RebuildCells    int    // cells written by the last rebuild
 	StaticHashTries int    // hash draws of the last rebuild
 }
 
-// Dict is a dynamic low-contention dictionary. It is not safe for
-// concurrent mutation; concurrent readers are safe between updates.
-type Dict struct {
-	p       Params
-	seed    uint64
-	epoch   int
-	base    *core.Dict
-	members map[uint64]bool // current key set (oracle for rebuilds)
-
-	buf       *cellprobe.Table
-	bufHash   hash.Pairwise
-	bufWidth  int
-	buffered  int // occupied (non-vacated) entries
+// buffer is the update buffer of one epoch: an open-addressing table whose
+// slot words are atomic, so lock-free readers run concurrently with the
+// writer. The acct table carries the cell-probe model's accounting (probe
+// recording, replicated parameter row); slot data lives in the packed
+// atomic words. Occupancy counters are owned by the writer lock.
+type buffer struct {
+	acct      *cellprobe.Table
+	slots     []atomic.Uint64
+	width     int
+	threshold int // occupancy that triggers a rebuild
+	hardCap   int // occupancy at which writers wait for the rebuild (load ≤ 1/2)
+	buffered  int // occupied minus vacated entries
 	occupied  int // slots not empty (including vacated) — drives rebuild
-	threshold int
-
-	// Probe counters are atomic: reads may run concurrently with each
-	// other (and with Stats), though not with updates.
-	readProbes  atomic.Uint64
-	writeProbes atomic.Uint64
-
-	stats Stats
 }
 
-// New builds a dynamic dictionary over the initial keys.
+// params probes a random replica of the buffer's parameter row.
+func (b *buffer) params(r rng.Source) hash.Pairwise {
+	c := b.acct.Probe(0, bufParamRow, r.Intn(b.width))
+	return hash.Pairwise{A: c.Lo, B: c.Hi, M: uint64(b.width)}
+}
+
+// find walks the probe chain for x. It returns the slot holding x
+// (found=true) or the first empty slot (found=false). Probes are recorded
+// at steps 1, 2, ... on the accounting table; callers already probed the
+// parameter row at step 0.
+func (b *buffer) find(x uint64, h hash.Pairwise) (slot int, tag uint64, found bool, probes uint64, err error) {
+	p := int(h.Eval(x))
+	for step := 1; step <= b.width+1; step++ {
+		b.acct.Probe(step, bufSlotRow, p)
+		w := b.slots[p].Load()
+		probes++
+		t := w >> tagShift
+		switch {
+		case t == slotEmpty:
+			return p, slotEmpty, false, probes, nil
+		case w&keyMask == x && t != slotVacated:
+			return p, t, true, probes, nil
+		}
+		p = (p + 1) % b.width
+	}
+	return 0, 0, false, probes, fmt.Errorf("dynamic: buffer scan wrapped (corrupt table?)")
+}
+
+// set publishes one slot with a single atomic store.
+func (b *buffer) set(slot int, x, tag uint64) {
+	b.slots[slot].Store(tag<<tagShift | x)
+}
+
+// epoch is one immutable published state: a static snapshot plus the buffer
+// absorbing the updates since. Readers obtain both with one pointer load.
+type epoch struct {
+	base *core.Dict
+	buf  *buffer
+}
+
+// update is one buffered operation, logged for replay when a background
+// rebuild swaps epochs.
+type update struct {
+	key uint64
+	del bool
+}
+
+// Dict is a dynamic low-contention dictionary. Contains and Len are safe
+// for any number of concurrent callers and take no lock; Insert and Delete
+// serialize on an internal writer mutex and may run concurrently with
+// readers. Probe recording (BaseTable/BufferTable with an attached
+// Recorder) is a sequential measurement mode: quiesce and stop updating
+// while a recorder is attached.
+type Dict struct {
+	p    Params
+	seed uint64
+
+	cur atomic.Pointer[epoch]
+	n   atomic.Int64 // len(members), mirrored for lock-free Len
+
+	readProbes *cellprobe.StripedCounter
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	members     map[uint64]bool // current key set (oracle for rebuilds)
+	epoch       int             // epochs started (== Stats.Epoch when idle)
+	rebuilding  bool
+	rebuildErr  error
+	delta       []update // updates applied since the rebuild snapshot was taken
+	writeProbes uint64
+	stats       Stats
+}
+
+// New builds a dynamic dictionary over the initial keys. The initial
+// construction (epoch 1) is always synchronous.
 func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 	if p.Epsilon == 0 {
 		p.Epsilon = 0.25
@@ -103,7 +198,13 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 	if p.Epsilon < 0 || p.Epsilon > 1 {
 		return nil, fmt.Errorf("dynamic: epsilon %v outside (0, 1]", p.Epsilon)
 	}
-	d := &Dict{p: p, seed: seed, members: make(map[uint64]bool, len(initial))}
+	d := &Dict{
+		p:          p,
+		seed:       seed,
+		readProbes: cellprobe.NewStripedCounter(),
+		members:    make(map[uint64]bool, len(initial)),
+	}
+	d.cond = sync.NewCond(&d.mu)
 	for _, k := range initial {
 		if k >= hash.MaxKey {
 			return nil, fmt.Errorf("dynamic: key %d outside universe", k)
@@ -113,90 +214,175 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 		}
 		d.members[k] = true
 	}
-	if err := d.rebuild(); err != nil {
-		return nil, err
+	d.n.Store(int64(len(d.members)))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.epoch = 1
+	keys := d.memberKeys()
+	base, err := core.Build(keys, d.p.Static, d.seed+1)
+	d.rebuilding = true
+	d.finishRebuild(base, err, 1, len(keys))
+	if d.rebuildErr != nil {
+		return nil, d.rebuildErr
 	}
 	return d, nil
 }
 
-// rebuild reconstructs the static snapshot and an empty buffer from the
-// current member set.
-func (d *Dict) rebuild() error {
+// memberKeys snapshots the current key set. Callers hold d.mu.
+func (d *Dict) memberKeys() []uint64 {
 	keys := make([]uint64, 0, len(d.members))
 	for k := range d.members {
 		keys = append(keys, k)
 	}
+	return keys
+}
+
+// newBuffer sizes and seeds the buffer of epoch ep for a snapshot of n keys.
+func (d *Dict) newBuffer(n, ep int) *buffer {
+	threshold := int(d.p.Epsilon * float64(max(n, 1)))
+	if threshold < 1 {
+		threshold = 1
+	}
+	// Slot capacity 4× the threshold keeps the load factor ≤ 1/4 at the
+	// trigger point (and ≤ 1/2 at the writers' hard cap) so probe chains
+	// stay O(1) in expectation.
+	width := 4 * threshold
+	if width < 8 {
+		width = 8
+	}
+	b := &buffer{
+		acct:      cellprobe.New(bufRows, width),
+		slots:     make([]atomic.Uint64, width),
+		width:     width,
+		threshold: threshold,
+		hardCap:   width / 2,
+	}
+	r := rng.New(d.seed ^ uint64(ep)<<32)
+	h := hash.NewPairwise(r, uint64(width))
+	params := cellprobe.Cell{Lo: h.A, Hi: h.B}
+	for j := 0; j < width; j++ {
+		b.acct.Set(bufParamRow, j, params)
+	}
+	return b
+}
+
+// startRebuild snapshots the member set and kicks off construction of the
+// next epoch. Callers hold d.mu.
+func (d *Dict) startRebuild() {
+	d.rebuilding = true
 	d.epoch++
-	base, err := core.Build(keys, d.p.Static, d.seed+uint64(d.epoch))
+	ep := d.epoch
+	keys := d.memberKeys()
+	d.delta = nil
+	if d.p.SyncRebuild {
+		base, err := core.Build(keys, d.p.Static, d.seed+uint64(ep))
+		d.finishRebuild(base, err, ep, len(keys))
+		return
+	}
+	go func() {
+		base, err := core.Build(keys, d.p.Static, d.seed+uint64(ep))
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.finishRebuild(base, err, ep, len(keys))
+	}()
+}
+
+// finishRebuild publishes epoch ep around the freshly built base, replaying
+// any updates that arrived while the build ran. Callers hold d.mu.
+func (d *Dict) finishRebuild(base *core.Dict, err error, ep, n int) {
+	d.rebuilding = false
+	defer d.cond.Broadcast()
 	if err != nil {
-		return fmt.Errorf("dynamic: rebuild %d: %w", d.epoch, err)
+		d.rebuildErr = fmt.Errorf("dynamic: rebuild %d: %w", ep, err)
+		return
 	}
-	d.base = base
-
-	n := len(keys)
-	d.threshold = int(d.p.Epsilon * float64(max(n, 1)))
-	if d.threshold < 1 {
-		d.threshold = 1
+	buf := d.newBuffer(n, ep)
+	for _, u := range d.delta {
+		if aerr := d.apply(buf, u.key, u.del); aerr != nil {
+			d.rebuildErr = fmt.Errorf("dynamic: rebuild %d replay: %w", ep, aerr)
+			return
+		}
 	}
-	// Slot capacity 4× the threshold keeps the load factor ≤ 1/4 so probe
-	// chains stay O(1) in expectation.
-	d.bufWidth = 4 * d.threshold
-	if d.bufWidth < 8 {
-		d.bufWidth = 8
-	}
-	d.buf = cellprobe.New(bufRows, d.bufWidth)
-	r := rng.New(d.seed ^ uint64(d.epoch)<<32)
-	d.bufHash = hash.NewPairwise(r, uint64(d.bufWidth))
-	params := cellprobe.Cell{Lo: d.bufHash.A, Hi: d.bufHash.B}
-	for j := 0; j < d.bufWidth; j++ {
-		d.buf.Set(bufParamRow, j, params)
-	}
-	d.buffered = 0
-	d.occupied = 0
-
-	d.stats.Epoch = d.epoch
+	d.delta = nil
+	d.cur.Store(&epoch{base: base, buf: buf})
+	d.stats.Epoch = ep
 	d.stats.SnapshotN = n
 	d.stats.RebuildKeys += n
-	d.stats.RebuildCells = base.Table().Size() + d.buf.Size()
+	d.stats.RebuildCells = base.Table().Size() + buf.acct.Size()
 	d.stats.StaticHashTries = base.Report().HashTries
+	// Replayed updates may already exceed the new, possibly smaller
+	// threshold — go again rather than let writers hit the hard cap.
+	if buf.occupied >= buf.threshold {
+		d.startRebuild()
+	}
+}
+
+// apply writes one update into b's probe chain. Callers hold d.mu.
+func (d *Dict) apply(b *buffer, x uint64, del bool) error {
+	seed := d.seed ^ x
+	if del {
+		seed ^= 0xdead
+	}
+	h := b.params(rng.New(seed))
+	slot, tag, found, probes, err := b.find(x, h)
+	if err != nil {
+		return err
+	}
+	d.writeProbes += probes + 2 // chain + parameter probe + slot write
+	if !del {
+		if found && tag == slotDeleted {
+			// Re-inserting a snapshot key that was tombstoned: drop the
+			// tombstone; the static structure already holds it.
+			b.set(slot, x, slotVacated)
+			b.buffered--
+			return nil
+		}
+		b.set(slot, x, slotInserted)
+		b.buffered++
+		b.occupied++
+		return nil
+	}
+	if found && tag == slotInserted {
+		// The key only ever lived in the buffer.
+		b.set(slot, x, slotVacated)
+		b.buffered--
+		return nil
+	}
+	// Tombstone a snapshot key.
+	b.set(slot, x, slotDeleted)
+	b.buffered++
+	b.occupied++
 	return nil
 }
 
-// bufferFind walks the probe chain for x. It returns the slot holding x
-// (found=true) or the first empty slot (found=false). Probes are recorded
-// at steps 1, 2, ... on the buffer table; callers already probed the
-// parameter row at step 0.
-func (d *Dict) bufferFind(x uint64, h hash.Pairwise) (slot int, tag uint64, found bool, probes uint64, err error) {
-	p := int(h.Eval(x))
-	for step := 1; step <= d.bufWidth+1; step++ {
-		c := d.buf.Probe(step, bufSlotRow, p)
-		probes++
-		switch {
-		case c.Hi == slotEmpty:
-			return p, slotEmpty, false, probes, nil
-		case c.Lo == x && c.Hi != slotVacated:
-			return p, c.Hi, true, probes, nil
+// writableEpoch returns the current epoch once its buffer has room for one
+// more entry, waiting out an in-flight rebuild if the writer outran it.
+// Callers hold d.mu.
+func (d *Dict) writableEpoch() (*epoch, error) {
+	for {
+		if d.rebuildErr != nil {
+			return nil, d.rebuildErr
 		}
-		p = (p + 1) % d.bufWidth
+		e := d.cur.Load()
+		if e.buf.occupied < e.buf.hardCap {
+			return e, nil
+		}
+		if !d.rebuilding {
+			d.startRebuild()
+			continue
+		}
+		d.cond.Wait()
 	}
-	return 0, 0, false, probes, fmt.Errorf("dynamic: buffer scan wrapped (corrupt table?)")
-}
-
-// readBufParams probes a random replica of the buffer parameter row.
-func (d *Dict) readBufParams(r *rng.RNG) (hash.Pairwise, error) {
-	c := d.buf.Probe(0, bufParamRow, r.Intn(d.bufWidth))
-	h := hash.Pairwise{A: c.Lo, B: c.Hi, M: uint64(d.bufWidth)}
-	return h, nil
 }
 
 // Contains answers membership for x through recorded probes on both the
-// buffer and the static tables.
-func (d *Dict) Contains(x uint64, r *rng.RNG) (bool, error) {
-	h, err := d.readBufParams(r)
-	if err != nil {
-		return false, err
-	}
-	_, tag, found, probes, err := d.bufferFind(x, h)
+// buffer and the static tables of the current epoch. It takes no lock and
+// writes no shared cache line beyond the striped probe counter.
+func (d *Dict) Contains(x uint64, r rng.Source) (bool, error) {
+	e := d.cur.Load()
+	b := e.buf
+	h := b.params(r)
+	_, tag, found, probes, err := b.find(x, h)
 	if err != nil {
 		return false, err
 	}
@@ -209,104 +395,103 @@ func (d *Dict) Contains(x uint64, r *rng.RNG) (bool, error) {
 			return false, nil
 		}
 	}
-	d.readProbes.Add(uint64(d.base.MaxProbes()))
-	return d.base.Contains(x, r)
+	d.readProbes.Add(uint64(e.base.MaxProbes()))
+	return e.base.Contains(x, r)
 }
 
-// Insert adds x. It reports whether the dictionary changed, and rebuilds if
-// the buffer is full.
+// Insert adds x. It reports whether the dictionary changed; crossing the
+// buffer threshold triggers a rebuild (background unless SyncRebuild).
 func (d *Dict) Insert(x uint64) (bool, error) {
 	if x >= hash.MaxKey {
 		return false, fmt.Errorf("dynamic: key %d outside universe", x)
 	}
-	if d.members[x] {
-		return false, nil
-	}
-	r := rng.New(d.seed ^ x)
-	h, err := d.readBufParams(r)
-	if err != nil {
-		return false, err
-	}
-	slot, tag, found, probes, err := d.bufferFind(x, h)
-	if err != nil {
-		return false, err
-	}
-	d.writeProbes.Add(probes + 2) // chain + parameter probe + slot write
-	d.members[x] = true
-	d.stats.Updates++
-	if found && tag == slotDeleted {
-		// Re-inserting a snapshot key that was tombstoned: drop the
-		// tombstone; the static structure already holds it.
-		d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotVacated})
-		d.buffered--
-		return true, nil
-	}
-	d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotInserted})
-	d.buffered++
-	d.occupied++
-	if d.occupied >= d.threshold {
-		return true, d.rebuild()
-	}
-	return true, nil
+	return d.mutate(x, false)
 }
 
 // Delete removes x. It reports whether the dictionary changed.
 func (d *Dict) Delete(x uint64) (bool, error) {
-	if !d.members[x] {
+	return d.mutate(x, true)
+}
+
+// mutate is the shared write path: membership check, buffer publish, delta
+// log for an in-flight rebuild, threshold trigger.
+func (d *Dict) mutate(x uint64, del bool) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.members[x] != del { // insert of present key / delete of absent key
 		return false, nil
 	}
-	r := rng.New(d.seed ^ x ^ 0xdead)
-	h, err := d.readBufParams(r)
+	e, err := d.writableEpoch()
 	if err != nil {
 		return false, err
 	}
-	slot, tag, found, probes, err := d.bufferFind(x, h)
-	if err != nil {
+	if err := d.apply(e.buf, x, del); err != nil {
 		return false, err
 	}
-	d.writeProbes.Add(probes + 2) // chain + parameter probe + slot write
-	delete(d.members, x)
+	if del {
+		delete(d.members, x)
+	} else {
+		d.members[x] = true
+	}
+	d.n.Store(int64(len(d.members)))
 	d.stats.Updates++
-	if found && tag == slotInserted {
-		// The key only ever lived in the buffer.
-		d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotVacated})
-		d.buffered--
-		return true, nil
+	if d.rebuilding {
+		d.delta = append(d.delta, update{key: x, del: del})
 	}
-	// Tombstone a snapshot key.
-	d.buf.Set(bufSlotRow, slot, cellprobe.Cell{Lo: x, Hi: slotDeleted})
-	d.buffered++
-	d.occupied++
-	if d.occupied >= d.threshold {
-		return true, d.rebuild()
+	if e.buf.occupied >= e.buf.threshold && !d.rebuilding && d.rebuildErr == nil {
+		d.startRebuild()
 	}
 	return true, nil
 }
 
-// Len returns the current number of keys.
-func (d *Dict) Len() int { return len(d.members) }
+// Len returns the current number of keys without taking a lock.
+func (d *Dict) Len() int { return int(d.n.Load()) }
 
-// Stats returns a snapshot of the dynamic statistics.
+// Quiesce blocks until no rebuild is in flight. Call it before attaching
+// probe recorders or reading Stats that must reflect a settled epoch.
+func (d *Dict) Quiesce() {
+	d.mu.Lock()
+	for d.rebuilding {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// Rebuilding reports whether a background rebuild is currently in flight.
+func (d *Dict) Rebuilding() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rebuilding
+}
+
+// Stats returns a snapshot of the dynamic statistics. Epoch-dependent
+// fields settle only after Quiesce.
 func (d *Dict) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	s := d.stats
 	s.Len = len(d.members)
-	s.Buffered = d.buffered
-	s.BufferSlots = d.bufWidth
-	s.ReadProbes = d.readProbes.Load()
-	s.WriteProbes = d.writeProbes.Load()
+	b := d.cur.Load().buf
+	s.Buffered = b.buffered
+	s.BufferSlots = b.width
+	s.ReadProbes = d.readProbes.Sum()
+	s.WriteProbes = d.writeProbes
 	return s
 }
 
-// BaseTable exposes the static snapshot's table (for contention recording).
-func (d *Dict) BaseTable() *cellprobe.Table { return d.base.Table() }
+// BaseTable exposes the current epoch's static table (for contention
+// recording). The result is stable only while the dictionary is quiescent.
+func (d *Dict) BaseTable() *cellprobe.Table { return d.cur.Load().base.Table() }
 
-// BufferTable exposes the update buffer's table.
-func (d *Dict) BufferTable() *cellprobe.Table { return d.buf }
+// BufferTable exposes the current epoch's update-buffer table. Slot cells
+// read as zero through it — slot data lives in atomic words — but probe
+// accounting (recording, size) is exact.
+func (d *Dict) BufferTable() *cellprobe.Table { return d.cur.Load().buf.acct }
 
 // MaxReadProbes bounds the probes of one Contains call in the common case
 // (buffer chain of length 1): one parameter probe, one slot probe, plus the
 // static dictionary's probes. Longer chains add one probe each.
-func (d *Dict) MaxReadProbes() int { return 2 + d.base.MaxProbes() }
+func (d *Dict) MaxReadProbes() int { return 2 + d.cur.Load().base.MaxProbes() }
 
 func max(a, b int) int {
 	if a > b {

@@ -121,13 +121,14 @@ func TestRebuildTriggers(t *testing.T) {
 	initial := distinctKeys(r, 400)
 	d := mustNew(t, initial, 5)
 	startEpoch := d.Stats().Epoch
-	threshold := d.threshold
+	threshold := d.cur.Load().buf.threshold
 	extra := distinctKeys(rng.New(6), 2*threshold+10)
 	for _, k := range extra {
 		if _, err := d.Insert(k); err != nil {
 			t.Fatal(err)
 		}
 	}
+	d.Quiesce()
 	s := d.Stats()
 	if s.Epoch <= startEpoch {
 		t.Errorf("no rebuild after %d inserts (threshold %d)", len(extra), threshold)
@@ -162,6 +163,7 @@ func TestDeleteThenReinsert(t *testing.T) {
 		t.Fatalf("re-inserted key missing (err %v)", err)
 	}
 	// The tombstone flip must not have grown the buffer.
+	d.Quiesce()
 	if d.Stats().Buffered != 0 {
 		t.Errorf("buffered = %d after delete+reinsert of snapshot key", d.Stats().Buffered)
 	}
@@ -211,6 +213,7 @@ func TestOracleRandomOps(t *testing.T) {
 			t.Fatalf("op %d: Len %d != oracle %d", op, d.Len(), len(oracle))
 		}
 	}
+	d.Quiesce()
 	if d.Stats().Epoch < 2 {
 		t.Errorf("expected several rebuilds, got epoch %d", d.Stats().Epoch)
 	}
@@ -271,6 +274,9 @@ func TestReadContentionStaysBounded(t *testing.T) {
 	}
 	live := keys[256:]
 
+	// Probe recording is a sequential measurement mode: settle the epoch
+	// before attaching recorders.
+	d.Quiesce()
 	baseRec := cellprobe.NewRecorder(d.BaseTable().Size())
 	bufRec := cellprobe.NewRecorder(d.BufferTable().Size())
 	d.BaseTable().Attach(baseRec)
@@ -314,6 +320,7 @@ func TestStatsAccounting(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	d.Quiesce()
 	s = d.Stats()
 	if s.Updates != 20 {
 		t.Errorf("updates = %d, want 20", s.Updates)

@@ -37,7 +37,9 @@ func X1(cfg Config) (*Table, error) {
 	for _, n := range cfg.Sizes {
 		keys := Keys(2*n, cfg.Seed+uint64(n))
 		initial, extra := keys[:n], keys[n:]
-		d, err := dynamic.New(initial, dynamic.Params{}, cfg.Seed)
+		// Synchronous rebuilds keep the epoch sequence (and thus every
+		// column) deterministic; readers are lock-free either way.
+		d, err := dynamic.New(initial, dynamic.Params{SyncRebuild: true}, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}

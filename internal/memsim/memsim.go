@@ -242,10 +242,13 @@ func run(seqs [][]int, arrivals []int, cfg Config) (Result, []int) {
 }
 
 // Prober is the slice of the dictionary surface the sequence extractor
-// needs; every structure in this repository satisfies it.
+// needs; every structure in this repository satisfies it. Contains takes
+// the same rng.Source abstraction the live query path uses, so simulated
+// probe sequences are drawn from exactly the replica-choice distribution
+// real concurrent queries would produce.
 type Prober interface {
 	Table() *cellprobe.Table
-	Contains(x uint64, r *rng.RNG) (bool, error)
+	Contains(x uint64, r rng.Source) (bool, error)
 }
 
 // Sequences executes procs queries sampled from q against st and captures

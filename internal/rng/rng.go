@@ -10,12 +10,20 @@ package rng
 
 import "math/bits"
 
+// splitMixGamma is the additive constant of the splitmix64 sequence.
+const splitMixGamma = 0x9e3779b97f4a7c15
+
 // SplitMix64 advances a splitmix64 state and returns the next output.
 // It is the seeding primitive and is also used directly where a cheap
 // stateless hash of a counter is sufficient.
 func SplitMix64(state *uint64) uint64 {
-	*state += 0x9e3779b97f4a7c15
-	z := *state
+	*state += splitMixGamma
+	return mix64(*state)
+}
+
+// mix64 is the splitmix64 output finalizer: a bijective scramble of the
+// raw Weyl-sequence state.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)

@@ -1,0 +1,118 @@
+package rng
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Source is the randomness a membership query consumes: independent uniform
+// draws, one per replica choice. *RNG implements it for sequential and
+// explicitly-seeded use; Sharded implements it for concurrent query paths
+// that must not contend on a shared generator state.
+//
+// Implementations must be safe for use by the goroutine that owns them;
+// Sharded is additionally safe for concurrent use by any number of
+// goroutines.
+type Source interface {
+	// Uint64 returns 64 uniformly random bits.
+	Uint64() uint64
+	// Intn returns a uniform int in [0, n). It panics if n <= 0.
+	Intn(n int) int
+}
+
+var (
+	_ Source = (*RNG)(nil)
+	_ Source = (*Sharded)(nil)
+)
+
+// cacheLine is the assumed coherence granularity. Each shard's state is
+// padded to this size so that concurrent callers on different shards never
+// write the same cache line — the same discipline the paper imposes on the
+// dictionary's cells.
+const cacheLine = 64
+
+// shard is one cache-line-padded splitmix64 stream.
+type shard struct {
+	state atomic.Uint64
+	_     [cacheLine - 8]byte
+}
+
+// Sharded is a low-contention concurrent query source. It maintains a power
+// of two of independent splitmix64 streams, each padded to its own cache
+// line. A call advances exactly one stream, picked by a per-goroutine handle
+// cached in a sync.Pool: in the steady state each P of the Go scheduler owns
+// a handle and therefore hits its own shard, so concurrent queries perform
+// no writes to shared cache lines. Under handle churn (GC clears the pool)
+// a goroutine may move to another shard; streams stay decorrelated because
+// every shard runs its own splitmix64 sequence from an independent origin.
+//
+// Sharded trades reproducibility for scalability: which stream serves a
+// call depends on scheduler placement (only a single-shard source is fully
+// deterministic), and concurrent callers interleave shard advances in
+// scheduling order. Pass an explicit *RNG where bit-exact reproducibility
+// matters (the experiment harness does).
+type Sharded struct {
+	shards []shard
+	mask   uint64
+	next   atomic.Uint64
+	pool   sync.Pool // *uint64: the caller's cached shard index
+}
+
+// NewSharded returns a sharded source seeded from seed. shards is rounded up
+// to a power of two; shards <= 0 selects the default of 4×GOMAXPROCS, enough
+// that handle collisions are rare even with goroutine migration.
+func NewSharded(seed uint64, shards int) *Sharded {
+	if shards <= 0 {
+		shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Sharded{shards: make([]shard, n), mask: uint64(n - 1)}
+	// Give each shard an independent splitmix64 origin. Distinct origins
+	// drawn from the seeding stream keep the per-shard sequences
+	// decorrelated even though they share the additive constant.
+	sm := seed
+	for i := range s.shards {
+		s.shards[i].state.Store(SplitMix64(&sm))
+	}
+	s.pool.New = func() any {
+		i := new(uint64)
+		*i = s.next.Add(1) - 1
+		return i
+	}
+	return s
+}
+
+// Shards returns the number of independent streams.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Uint64 advances the calling goroutine's shard stream by one splitmix64
+// step: a single atomic add on a cache line private to the shard, then a
+// local finalizer. No other shared memory is written.
+func (s *Sharded) Uint64() uint64 {
+	h := s.pool.Get().(*uint64)
+	i := *h & s.mask
+	s.pool.Put(h)
+	return mix64(s.shards[i].state.Add(splitMixGamma))
+}
+
+// Intn returns a uniform int in [0, n) using the same nearly-divisionless
+// reduction as RNG.Intn. It panics if n <= 0.
+func (s *Sharded) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(s.Uint64(), un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(s.Uint64(), un)
+		}
+	}
+	return int(hi)
+}

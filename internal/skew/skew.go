@@ -122,7 +122,7 @@ func Build(support []dist.Weighted, p Params, seed uint64) (*Dict, error) {
 
 // Contains answers membership. It probes one random hot copy, then the cold
 // dictionary on a miss.
-func (d *Dict) Contains(x uint64, r *rng.RNG) (bool, error) {
+func (d *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 	if len(d.hot) > 0 {
 		ok, err := d.hot[r.Intn(len(d.hot))].Contains(x, r)
 		if err != nil {

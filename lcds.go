@@ -24,7 +24,6 @@ package lcds
 import (
 	"fmt"
 	"io"
-	"sync/atomic"
 
 	"repro/internal/contention"
 	"repro/internal/core"
@@ -38,16 +37,26 @@ const MaxKey = hash.MaxKey
 
 // Dict is an immutable low-contention static dictionary. It is safe for
 // concurrent use by multiple goroutines: queries draw their replica choices
-// from independent per-call generators.
+// from a sharded random source (see QuerySource), so concurrent readers
+// write no shared cache line — the machine-level analogue of the paper's
+// O(1/s) per-cell guarantee.
 type Dict struct {
 	inner *core.Dict
 	seed  uint64
-	ctr   atomic.Uint64
+	src   rng.Source
 }
+
+// QuerySource is the stream of uniform draws a query consumes for its
+// replica choices. The default is a sharded splitmix64 source
+// (rng.NewSharded) whose streams are padded to separate cache lines;
+// supply your own via WithQuerySource — e.g. an *rng.RNG for bit-exact
+// reproducible query traces.
+type QuerySource = rng.Source
 
 // options collects construction options.
 type options struct {
 	seed   uint64
+	src    rng.Source
 	params core.Params
 }
 
@@ -59,10 +68,26 @@ type opterr struct {
 	err error
 }
 
-// WithSeed fixes the randomness of construction and queries, making the
-// dictionary fully reproducible. The default seed is 1.
+// WithSeed fixes the randomness of construction (and seeds the default
+// query source), making the structure reproducible. The default seed is 1.
+// Concurrent queries interleave the sharded source's streams in scheduling
+// order; combine with WithQuerySource for bit-exact query traces.
 func WithSeed(seed uint64) Option {
 	return func(c *opterr) { c.o.seed = seed }
+}
+
+// WithQuerySource replaces the default sharded query source. The source
+// supplies every replica choice queries make; it must be safe for as many
+// concurrent callers as the dictionary has (an *rng.RNG is single-goroutine
+// only, an rng.Sharded is safe for any number).
+func WithQuerySource(src QuerySource) Option {
+	return func(c *opterr) {
+		if src == nil {
+			c.err = fmt.Errorf("lcds: nil query source")
+			return
+		}
+		c.o.src = src
+	}
 }
 
 // WithSpace sets the space factor β ≥ 2 (buckets per key; the paper's
@@ -115,16 +140,16 @@ func New(keys []uint64, opts ...Option) (*Dict, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dict{inner: inner, seed: cfg.o.seed}, nil
+	return &Dict{inner: inner, seed: cfg.o.seed, src: cfg.o.querySource()}, nil
 }
 
-// queryRNG derives an independent generator for one query.
-func (d *Dict) queryRNG() *rng.RNG {
-	c := d.ctr.Add(1)
-	state := d.seed ^ 0x9e3779b97f4a7c15
-	// One splitmix step keyed by the counter decorrelates the streams.
-	s := state + c
-	return rng.New(rng.SplitMix64(&s))
+// querySource resolves the configured query source, defaulting to a
+// sharded splitmix64 source derived from the seed.
+func (o options) querySource() rng.Source {
+	if o.src != nil {
+		return o.src
+	}
+	return rng.NewSharded(o.seed^0x9e3779b97f4a7c15, 0)
 }
 
 // Contains reports whether x is in the dictionary. It panics only if the
@@ -138,8 +163,10 @@ func (d *Dict) Contains(x uint64) bool {
 }
 
 // Lookup reports membership and surfaces table corruption as an error.
+// It acquires no lock and writes no memory outside the query source's
+// cache-line-private shard.
 func (d *Dict) Lookup(x uint64) (bool, error) {
-	return d.inner.Contains(x, d.queryRNG())
+	return d.inner.Contains(x, d.src)
 }
 
 // Len returns the number of stored keys.
@@ -175,7 +202,8 @@ func (d *Dict) Stats() Stats {
 }
 
 // Contention summarizes the dictionary's exact contention under uniform
-// queries over the stored keys (the paper's uniform-positive distribution).
+// queries over a caller-chosen key set (the paper's uniform-positive
+// distribution when that set is the stored keys).
 type Contention struct {
 	// RatioStep is max_{t,j} Φ_t(j) · s — the per-step contention as a
 	// multiple of the unachievable optimum 1/s. Theorem 3 keeps it O(1).
@@ -188,9 +216,10 @@ type Contention struct {
 
 // Explain runs one membership query, writing a step-by-step account of
 // every cell probe to w — which row, which replica, what was learned.
-// Useful for understanding the four-phase query algorithm.
+// Useful for understanding the four-phase query algorithm. Explain
+// installs a table trace and must not run concurrently with queries.
 func (d *Dict) Explain(x uint64, w io.Writer) (bool, error) {
-	return d.inner.Explain(x, d.queryRNG(), w)
+	return d.inner.Explain(x, d.src, w)
 }
 
 // WriteTo serializes the dictionary in a compact format (the construction
@@ -213,15 +242,17 @@ func Read(r io.Reader, opts ...Option) (*Dict, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dict{inner: inner, seed: cfg.o.seed}, nil
+	return &Dict{inner: inner, seed: cfg.o.seed, src: cfg.o.querySource()}, nil
 }
 
 // ContentionSummary computes the exact contention under uniform queries
-// over the stored keys. It returns an error for an empty dictionary (the
-// uniform-positive distribution is undefined).
+// over the caller-supplied keys — pass the stored key set for the paper's
+// uniform-positive distribution, or any other support of interest. It
+// returns an error for an empty key set (the uniform distribution over it
+// is undefined).
 func (d *Dict) ContentionSummary(keys []uint64) (Contention, error) {
 	if len(keys) == 0 {
-		return Contention{}, fmt.Errorf("lcds: contention summary needs a non-empty query set")
+		return Contention{}, fmt.Errorf("lcds: contention summary needs a non-empty key set")
 	}
 	q := dist.NewUniformSet(keys, "")
 	res, err := contention.Exact(d.inner, q.Support())

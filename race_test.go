@@ -1,0 +1,112 @@
+package lcds
+
+import (
+	"sync"
+	"testing"
+)
+
+// Race tests for the public facade: run with `go test -race`. The static
+// Dict shares one sharded query source across all callers; the dynamic
+// dictionary additionally publishes epoch snapshots that readers traverse
+// while writers mutate and rebuild. The heavy variants shrink under
+// `go test -short`.
+
+// TestConcurrentStaticContains hammers Dict.Contains from many goroutines.
+// The static dictionary is immutable after construction, so the only shared
+// mutable state on this path is the query source's shard cells.
+func TestConcurrentStaticContains(t *testing.T) {
+	goroutines, ops := 8, 20000
+	if testing.Short() {
+		goroutines, ops = 4, 2000
+	}
+	keys := testKeys(4096, 51)
+	members := make(map[uint64]bool, 2048)
+	for _, k := range keys[:2048] {
+		members[k] = true
+	}
+	d, err := New(keys[:2048], WithSeed(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := keys[(g*ops+i)%len(keys)]
+				if got := d.Contains(k); got != members[k] {
+					t.Errorf("Contains(%d) = %v, want %v", k, got, members[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentDynamicHammer mixes Contains, Insert, Delete and Len on one
+// DynamicDict. Stable keys are never touched by writers, so readers can
+// check exact answers; volatile keys churn to keep rebuilds in flight.
+func TestConcurrentDynamicHammer(t *testing.T) {
+	readers, writers, readerOps, writerOps := 6, 2, 8000, 2500
+	if testing.Short() {
+		readers, writers, readerOps, writerOps = 2, 1, 1000, 300
+	}
+	keys := testKeys(3000, 61)
+	stable, volatile := keys[:1500], keys[1500:]
+	d, err := NewDynamic(stable, 0.5, WithSeed(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < readerOps; i++ {
+				k := stable[(g*readerOps+i)%len(stable)]
+				ok, err := d.Contains(k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					t.Errorf("stable key %d reported absent", k)
+					return
+				}
+				if n := d.Len(); n < len(stable) {
+					t.Errorf("Len() = %d below stable floor %d", n, len(stable))
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < writerOps; i++ {
+				k := volatile[(g*writerOps+i)%len(volatile)]
+				var err error
+				if i%2 == 0 {
+					_, err = d.Insert(k)
+				} else {
+					_, err = d.Delete(k)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.Quiesce()
+	for _, k := range stable {
+		ok, err := d.Contains(k)
+		if err != nil || !ok {
+			t.Fatalf("stable key %d missing after hammer (err %v)", k, err)
+		}
+	}
+}
