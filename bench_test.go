@@ -10,6 +10,9 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/rng"
 )
@@ -34,6 +37,7 @@ func benchConfig() experiments.Config {
 // -v to see the rendered table once.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := benchConfig()
 	var out io.Writer = io.Discard
 	for i := 0; i < b.N; i++ {
@@ -143,6 +147,7 @@ func BenchmarkParallelLCDS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		r := rng.New(rand64())
@@ -164,6 +169,7 @@ func BenchmarkParallelFKS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		r := rng.New(rand64())
@@ -185,6 +191,7 @@ func BenchmarkParallelCuckoo(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		r := rng.New(rand64())
@@ -207,6 +214,7 @@ func BenchmarkParallelBinarySearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		r := rng.New(rand64())
@@ -228,6 +236,7 @@ func BenchmarkPublicContains(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !d.Contains(keys[i%len(keys)]) {
@@ -239,11 +248,89 @@ func BenchmarkPublicContains(b *testing.B) {
 // BenchmarkBuild measures construction throughput at the bench size.
 func BenchmarkBuild(b *testing.B) {
 	keys := benchKeys(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := New(keys, WithSeed(uint64(i+1))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildParallel races GOMAXPROCS independent hash draws per round
+// during construction (WithParallelBuild). Deterministic per (seed, workers).
+func BenchmarkBuildParallel(b *testing.B) {
+	keys := benchKeys(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(keys, WithSeed(uint64(i+1)), WithParallelBuild(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContainsScratch measures the zero-allocation core fast path: an
+// explicit QueryScratch and a sequential RNG, no pools. Expect 0 allocs/op.
+func BenchmarkContainsScratch(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := New(keys, WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	sc := new(core.QueryScratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := d.inner.ContainsScratch(keys[i%len(keys)], r, sc)
+		if err != nil || !ok {
+			b.Fatal("lost key")
+		}
+	}
+}
+
+// BenchmarkContainsBatch measures the facade batch path, which amortizes the
+// scratch-pool round trip over the whole slice. Expect 0 allocs per batch.
+func BenchmarkContainsBatch(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := New(keys, WithSeed(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 1024
+	out := make([]bool, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ContainsBatch(keys[:batch], out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Per-key figure: divide ns/op by the batch size.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/key")
+}
+
+// BenchmarkExactContention compares the serial and parallel exact contention
+// analyses; the parallel run is bit-identical to the serial one by contract.
+func BenchmarkExactContention(b *testing.B) {
+	keys := benchKeys(b)
+	d, err := New(keys, WithSeed(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	support := dist.NewUniformSet(keys, "").Support()
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := contention.ExactWorkers(d.inner, support, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -266,6 +353,7 @@ func benchGoroutineCounts() []int {
 // runFanOut splits b.N across g goroutines, each running loop(seed, n).
 func runFanOut(b *testing.B, g int, loop func(seed uint64, n int)) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	for i := 0; i < g; i++ {

@@ -7,14 +7,18 @@
 //	lcds-bench -exp T2          # one experiment
 //	lcds-bench -quick           # reduced sizes (seconds instead of minutes)
 //	lcds-bench -sizes 1024,4096 -trials 20 -seed 99
+//	lcds-bench -parallel        # run independent experiments concurrently
+//	lcds-bench -json            # micro-perf suite -> BENCH_<date>.json
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/experiments"
 )
@@ -24,12 +28,26 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced test-scale configuration")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 	sizes := flag.String("sizes", "", "comma-separated n sweep (overrides default)")
-	fixedN := flag.Int("n", 0, "n for single-size experiments (T3, F1, F2)")
+	fixedN := flag.Int("n", 0, "n for single-size experiments (T3, F1, F2); also the -json suite size")
 	queries := flag.Int("queries", 0, "Monte-Carlo query count")
 	trials := flag.Int("trials", 0, "trials for rate experiments (T4, T5)")
 	procs := flag.String("procs", "", "comma-separated processor counts for F2")
 	markdown := flag.Bool("markdown", false, "render GitHub-flavored markdown tables")
+	parallel := flag.Bool("parallel", false, "run independent experiments concurrently (output order is preserved)")
+	jsonMode := flag.Bool("json", false, "run the micro-perf suite and write BENCH_<date>.json")
+	jsonOut := flag.String("out", "", "output path for -json (default BENCH_<date>.json in the working directory)")
 	flag.Parse()
+
+	if *jsonMode {
+		n := *fixedN
+		if n == 0 {
+			n = 32768
+		}
+		if err := runPerfSuite(n, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -69,6 +87,41 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
+	}
+	if *parallel {
+		// Experiments are independent and each is deterministic given
+		// cfg.Seed, so running them concurrently changes nothing but the
+		// wall clock; rendering into per-experiment buffers keeps the
+		// output byte-identical to a serial run.
+		outs := make([]bytes.Buffer, len(ids))
+		errs := make([]error, len(ids))
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				tab, err := experiments.Run(id, cfg)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				render := tab.Render
+				if *markdown {
+					render = tab.RenderMarkdown
+				}
+				errs[i] = render(&outs[i])
+			}(i, id)
+		}
+		wg.Wait()
+		for i := range ids {
+			if errs[i] != nil {
+				fatal(errs[i])
+			}
+			if _, err := outs[i].WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 	for _, id := range ids {
 		tab, err := experiments.Run(id, cfg)

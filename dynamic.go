@@ -50,6 +50,15 @@ func (d *DynamicDict) Contains(x uint64) (bool, error) {
 	return d.inner.Contains(x, d.src)
 }
 
+// ContainsBatch answers membership for every keys[i] into out[i]. The
+// whole batch is answered against one epoch snapshot loaded once up front,
+// amortizing the epoch-pointer load and the query working memory across the
+// batch; updates published mid-batch are not observed. out must be at least
+// as long as keys.
+func (d *DynamicDict) ContainsBatch(keys []uint64, out []bool) error {
+	return d.inner.ContainsBatch(keys, out, d.src)
+}
+
 // Insert adds x; it reports whether the set changed.
 func (d *DynamicDict) Insert(x uint64) (bool, error) {
 	return d.inner.Insert(x)

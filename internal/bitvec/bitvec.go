@@ -155,6 +155,64 @@ func DecodeHistogramPrefix(v *Vector, count int) ([]int, error) {
 	return nil, fmt.Errorf("bitvec: histogram has %d separators, want %d", len(loads), count)
 }
 
+// HistogramPrefixSum streams the first count bucket loads of a unary group
+// histogram and returns the sum of squares of the first count−1 loads
+// together with the count-th load itself, without materializing a load
+// slice. It decodes exactly what the query algorithm's phase 3 needs — the
+// cell offset Σ_{k<pos} ℓ_k² and the bucket load ℓ_pos — and it agrees with
+// DecodeHistogramPrefix on every input: for loads := DecodeHistogramPrefix(v,
+// count), sumSq = Σ_{k<count−1} loads[k]² and last = loads[count−1].
+//
+// The scan is word-at-a-time: within a word, the next separator is the
+// lowest zero bit at or beyond the cursor, and every bit between cursor and
+// separator is a one, so each bucket costs O(1) word operations instead of
+// one Bit call per unary digit.
+func HistogramPrefixSum(v *Vector, count int) (sumSq, last int, err error) {
+	if count < 1 {
+		return 0, 0, fmt.Errorf("bitvec: prefix sum needs count ≥ 1, got %d", count)
+	}
+	run := 0
+	decoded := 0
+	for wi := 0; wi*64 < v.n; wi++ {
+		valid := v.n - wi*64
+		if valid > 64 {
+			valid = 64
+		}
+		// Zero bits of the word are separators; mask the slack beyond the
+		// vector's length so it is neither ones nor separators.
+		z := ^v.words[wi]
+		if valid < 64 {
+			z &= 1<<uint(valid) - 1
+		}
+		start := 0
+		for z != 0 {
+			sep := bits.TrailingZeros64(z)
+			run += sep - start // bits in [start, sep) are all ones
+			decoded++
+			if decoded == count {
+				return sumSq, run, nil
+			}
+			sumSq += run * run
+			run = 0
+			start = sep + 1
+			z &= z - 1
+		}
+		run += valid - start // trailing ones carry into the next word
+	}
+	return 0, 0, fmt.Errorf("bitvec: histogram has %d separators, want %d", decoded, count)
+}
+
 // HistogramBits returns the exact number of bits needed to encode the given
 // bucket count and total load: totalLoad ones plus count separators.
 func HistogramBits(count, totalLoad int) int { return count + totalLoad }
+
+// Reset repoints the vector at an existing word slice holding nbits valid
+// bits, without copying — the in-place analogue of FromWords for callers
+// that reuse one Vector across queries to avoid allocation.
+func (v *Vector) Reset(words []uint64, nbits int) {
+	if nbits < 0 || nbits > len(words)*64 {
+		panic(fmt.Sprintf("bitvec: %d bits do not fit in %d words", nbits, len(words)))
+	}
+	v.words = words
+	v.n = nbits
+}

@@ -196,3 +196,97 @@ func equal(a, b []int) bool {
 	}
 	return true
 }
+
+// prefixSumRef derives (sumSq, last) from the materializing decoder — the
+// reference the streaming HistogramPrefixSum must match bit for bit.
+func prefixSumRef(v *Vector, count int) (int, int, error) {
+	loads, err := DecodeHistogramPrefix(v, count)
+	if err != nil {
+		return 0, 0, err
+	}
+	sumSq := 0
+	for _, l := range loads[:count-1] {
+		sumSq += l * l
+	}
+	return sumSq, loads[count-1], nil
+}
+
+func TestHistogramPrefixSumMatchesDecoder(t *testing.T) {
+	cases := [][]int{
+		{0},
+		{1},
+		{5},
+		{0, 0, 0},
+		{1, 2, 3, 4, 5},
+		{63, 1, 64, 0, 65},       // runs straddling word boundaries
+		{127, 0, 128, 2},         // separator on a word boundary
+		{0, 200, 0, 0, 17, 3, 1}, // long run far past one word
+	}
+	for _, loads := range cases {
+		v := EncodeHistogram(loads)
+		// The query path hands the decoder whole words with padding bits
+		// beyond the encoded histogram; mirror that.
+		padded := FromWords(v.Words(), len(v.Words())*64)
+		for _, vec := range []*Vector{v, padded} {
+			for count := 1; count <= len(loads); count++ {
+				wantSq, wantLast, wantErr := prefixSumRef(vec, count)
+				gotSq, gotLast, gotErr := HistogramPrefixSum(vec, count)
+				if (gotErr != nil) != (wantErr != nil) {
+					t.Fatalf("loads %v count %d: err %v, want %v", loads, count, gotErr, wantErr)
+				}
+				if gotSq != wantSq || gotLast != wantLast {
+					t.Fatalf("loads %v count %d: (%d, %d), want (%d, %d)",
+						loads, count, gotSq, gotLast, wantSq, wantLast)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramPrefixSumErrors(t *testing.T) {
+	v := EncodeHistogram([]int{1, 2})
+	if _, _, err := HistogramPrefixSum(v, 0); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, _, err := HistogramPrefixSum(v, -3); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, _, err := HistogramPrefixSum(v, 3); err == nil {
+		t.Error("count beyond the encoded buckets accepted")
+	}
+	// An all-ones vector has no separators at all.
+	ones := FromWords([]uint64{^uint64(0), ^uint64(0)}, 128)
+	if _, _, err := HistogramPrefixSum(ones, 1); err == nil {
+		t.Error("separator-free vector accepted")
+	}
+}
+
+func TestHistogramPrefixSumRandom(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(40)
+		loads := make([]int, n)
+		for i := range loads {
+			if r.Intn(3) == 0 {
+				loads[i] = 0
+			} else {
+				loads[i] = r.Intn(130)
+			}
+		}
+		v := EncodeHistogram(loads)
+		padded := FromWords(v.Words(), len(v.Words())*64)
+		count := 1 + r.Intn(n)
+		wantSq, wantLast, err := prefixSumRef(padded, count)
+		if err != nil {
+			t.Fatalf("trial %d: reference decode: %v", trial, err)
+		}
+		gotSq, gotLast, err := HistogramPrefixSum(padded, count)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gotSq != wantSq || gotLast != wantLast {
+			t.Fatalf("trial %d: loads %v count %d: (%d, %d), want (%d, %d)",
+				trial, loads, count, gotSq, gotLast, wantSq, wantLast)
+		}
+	}
+}

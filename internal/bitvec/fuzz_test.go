@@ -43,10 +43,27 @@ func FuzzHistogramRoundTrip(f *testing.F) {
 				t.Fatalf("prefix mismatch at %d", i)
 			}
 		}
+		// The streaming decoder must agree with the materializing one on
+		// every prefix length.
+		for count := 1; count <= len(loads); count++ {
+			sumSq, last, err := HistogramPrefixSum(w, count)
+			if err != nil {
+				t.Fatalf("prefix sum count %d: %v", count, err)
+			}
+			wantSq := 0
+			for _, l := range loads[:count-1] {
+				wantSq += l * l
+			}
+			if sumSq != wantSq || last != loads[count-1] {
+				t.Fatalf("prefix sum count %d: (%d, %d), want (%d, %d)",
+					count, sumSq, last, wantSq, loads[count-1])
+			}
+		}
 	})
 }
 
-// FuzzDecodeNeverPanics: arbitrary words must decode or error, not panic.
+// FuzzDecodeNeverPanics: arbitrary words must decode or error, not panic,
+// and the two prefix decoders must agree on arbitrary (even corrupt) input.
 func FuzzDecodeNeverPanics(f *testing.F) {
 	f.Add(uint64(0), uint64(0), 5)
 	f.Add(^uint64(0), uint64(1)<<63, 100)
@@ -56,6 +73,23 @@ func FuzzDecodeNeverPanics(f *testing.F) {
 		}
 		v := FromWords([]uint64{w0, w1}, 128)
 		_, _ = DecodeHistogram(v, count)
-		_, _ = DecodeHistogramPrefix(v, count)
+		loads, decErr := DecodeHistogramPrefix(v, count)
+		if count < 1 {
+			return
+		}
+		sumSq, last, sumErr := HistogramPrefixSum(v, count)
+		if (decErr != nil) != (sumErr != nil) {
+			t.Fatalf("decoders disagree on error: %v vs %v", decErr, sumErr)
+		}
+		if decErr != nil {
+			return
+		}
+		wantSq := 0
+		for _, l := range loads[:count-1] {
+			wantSq += l * l
+		}
+		if sumSq != wantSq || last != loads[count-1] {
+			t.Fatalf("decoders disagree: (%d, %d), want (%d, %d)", sumSq, last, wantSq, loads[count-1])
+		}
 	})
 }

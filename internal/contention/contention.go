@@ -11,7 +11,10 @@ package contention
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cellprobe"
 	"repro/internal/dist"
@@ -61,48 +64,147 @@ func (r ExactResult) RatioTotal() float64 { return r.MaxTotal * float64(r.Cells)
 // Exact computes the exact contention of st under the weighted support of a
 // query distribution: Φ_t(j) = Σ_x q_x · P_t(x, j), with P_t taken from
 // st.ProbeSpec. The support weights should sum to 1.
+//
+// The computation fans out over GOMAXPROCS workers (see ExactWorkers); the
+// result is bit-identical to the serial path for every worker count.
 func Exact(st Structure, support []dist.Weighted) (ExactResult, error) {
+	return ExactWorkers(st, support, 0)
+}
+
+// ExactWorkers is Exact with an explicit worker count; workers <= 0 selects
+// GOMAXPROCS and workers == 1 is the serial reference path. Parallelism
+// changes no float: per-key specs carry no floating-point state, each probe
+// step's difference array and prefix scan are computed by exactly one
+// worker iterating the support in key order, and the per-step contention
+// vectors are merged into the running totals in increasing step order — the
+// same additions, in the same order, as the serial path.
+func ExactWorkers(st Structure, support []dist.Weighted, workers int) (ExactResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	cells := st.Table().Size()
 	specs := make([]cellprobe.ProbeSpec, len(support))
 	steps := 0
-	for i, w := range support {
-		specs[i] = st.ProbeSpec(w.Key)
-		if err := specs[i].Validate(cells); err != nil {
-			return ExactResult{}, fmt.Errorf("contention: spec for key %d: %w", w.Key, err)
+
+	// Phase 1: build and validate the per-key probe specs, sharded over
+	// contiguous key ranges. Workers stop at their shard's first invalid
+	// spec; the lowest erroring shard holds the globally first bad key, so
+	// the reported error matches the serial scan's.
+	chunk := (len(support) + workers - 1) / workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	shards := (len(support) + chunk - 1) / chunk
+	specErrs := make([]error, shards)
+	shardSteps := make([]int, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(support) {
+			hi = len(support)
 		}
-		if len(specs[i]) > steps {
-			steps = len(specs[i])
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				specs[i] = st.ProbeSpec(support[i].Key)
+				if err := specs[i].Validate(cells); err != nil {
+					specErrs[w] = fmt.Errorf("contention: spec for key %d: %w", support[i].Key, err)
+					return
+				}
+				if len(specs[i]) > shardSteps[w] {
+					shardSteps[w] = len(specs[i])
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < shards; w++ {
+		if specErrs[w] != nil {
+			return ExactResult{}, specErrs[w]
+		}
+		if shardSteps[w] > steps {
+			steps = shardSteps[w]
 		}
 	}
+
 	res := ExactResult{Structure: st.Name(), Cells: cells, Steps: steps}
 	total := make([]float64, cells)
-	diff := make([]float64, cells+1)
+
+	// Phase 2: probe steps are independent, so each worker claims steps
+	// from a counter and computes that step's full difference array and
+	// prefix scan. Completed steps are handed to the ordered merge below.
+	type stepOut struct {
+		acc  []float64 // prefix-scanned Φ_t(·)
+		mass float64
+		max  float64
+	}
+	done := make([]*stepOut, steps)
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	var next atomic.Int64
+	nw := workers
+	if nw > steps {
+		nw = steps
+	}
+	for w := 0; w < nw; w++ {
+		go func() {
+			diff := make([]float64, cells+1)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= steps {
+					return
+				}
+				for i := range diff {
+					diff[i] = 0
+				}
+				mass := 0.0
+				for i, wt := range support {
+					if t >= len(specs[i]) {
+						continue
+					}
+					for _, sp := range specs[i][t] {
+						pc := sp.PerCell() * wt.P
+						diff[sp.Start] += pc
+						diff[sp.Start+sp.Count] -= pc
+						mass += sp.Mass * wt.P
+					}
+				}
+				out := &stepOut{acc: make([]float64, cells), mass: mass}
+				acc := 0.0
+				for j := 0; j < cells; j++ {
+					acc += diff[j]
+					out.acc[j] = acc
+					if acc > out.max {
+						out.max = acc
+					}
+				}
+				mu.Lock()
+				done[t] = out
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	// Ordered merge: accumulate per-step vectors in increasing t, dropping
+	// each buffer as soon as it is merged so at most ~workers step vectors
+	// are alive at once.
 	for t := 0; t < steps; t++ {
-		for i := range diff {
-			diff[i] = 0
+		mu.Lock()
+		for done[t] == nil {
+			cond.Wait()
 		}
-		mass := 0.0
-		for i, w := range support {
-			if t >= len(specs[i]) {
-				continue
-			}
-			for _, sp := range specs[i][t] {
-				pc := sp.PerCell() * w.P
-				diff[sp.Start] += pc
-				diff[sp.Start+sp.Count] -= pc
-				mass += sp.Mass * w.P
-			}
+		out := done[t]
+		done[t] = nil
+		mu.Unlock()
+		for j, v := range out.acc {
+			total[j] += v
 		}
-		acc := 0.0
-		for j := 0; j < cells; j++ {
-			acc += diff[j]
-			total[j] += acc
-			if acc > res.MaxStep {
-				res.MaxStep = acc
-			}
+		if out.max > res.MaxStep {
+			res.MaxStep = out.max
 		}
-		res.StepMass = append(res.StepMass, mass)
-		res.Probes += mass
+		res.StepMass = append(res.StepMass, out.mass)
+		res.Probes += out.mass
 	}
 	for _, v := range total {
 		if v > res.MaxTotal {

@@ -309,3 +309,78 @@ func TestMonteCarloErrorsSurface(t *testing.T) {
 		t.Error("corrupt table did not surface through MonteCarlo")
 	}
 }
+
+// TestExactWorkersBitIdentical: the parallel analyzer's contract is that
+// worker count changes wall clock only — every float in the result must be
+// bit-identical to the serial (workers = 1) path, for the dictionary and
+// for a baseline with a different spec shape.
+func TestExactWorkersBitIdentical(t *testing.T) {
+	keys := distinctKeys(rng.New(41), 1200)
+	for _, st := range allStructures(t, keys, 4) {
+		support := dist.NewUniformSet(keys, "").Support()
+		serial, err := ExactWorkers(st, support, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", st.Name(), err)
+		}
+		for _, workers := range []int{2, 3, 4, 7, 16} {
+			par, err := ExactWorkers(st, support, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", st.Name(), workers, err)
+			}
+			if par.MaxStep != serial.MaxStep || par.MaxTotal != serial.MaxTotal || par.Probes != serial.Probes {
+				t.Fatalf("%s workers=%d diverged: maxStep %v vs %v, maxTotal %v vs %v, probes %v vs %v",
+					st.Name(), workers, par.MaxStep, serial.MaxStep,
+					par.MaxTotal, serial.MaxTotal, par.Probes, serial.Probes)
+			}
+			if len(par.StepMass) != len(serial.StepMass) {
+				t.Fatalf("%s workers=%d: %d steps vs %d", st.Name(), workers, len(par.StepMass), len(serial.StepMass))
+			}
+			for i := range par.StepMass {
+				if par.StepMass[i] != serial.StepMass[i] {
+					t.Fatalf("%s workers=%d: step %d mass %v vs %v",
+						st.Name(), workers, i, par.StepMass[i], serial.StepMass[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExactWorkersErrorDeterministic: an invalid spec must surface the same
+// error regardless of worker count (the lowest-indexed bad key wins).
+func TestExactWorkersErrorDeterministic(t *testing.T) {
+	keys := distinctKeys(rng.New(42), 300)
+	st, err := core.Build(keys, core.Params{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the structure so Validate sees a table half the real size:
+	// every spec with a span in the upper half becomes invalid, and the
+	// first such key in support order must win whatever the worker count.
+	bad := shrunkTable{Structure: st}
+	support := dist.NewUniformSet(keys, "").Support()
+	serialErr := func() string {
+		_, err := ExactWorkers(bad, support, 1)
+		if err == nil {
+			t.Fatal("shrunk table accepted")
+		}
+		return err.Error()
+	}()
+	for _, workers := range []int{2, 5, 9} {
+		_, err := ExactWorkers(bad, support, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: shrunk table accepted", workers)
+		}
+		if err.Error() != serialErr {
+			t.Fatalf("workers=%d error %q, want %q", workers, err.Error(), serialErr)
+		}
+	}
+}
+
+// shrunkTable reports a table half the real size so that late probe spans
+// fail validation.
+type shrunkTable struct{ Structure }
+
+func (s shrunkTable) Table() *cellprobe.Table {
+	real := s.Structure.Table()
+	return cellprobe.New(1, real.Size()/2)
+}

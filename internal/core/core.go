@@ -47,6 +47,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/cellprobe"
@@ -98,6 +99,16 @@ type Params struct {
 	// ≈ 2·βn while leaving the model's space accounting — and every
 	// observable behaviour — unchanged. Incompatible with Strided.
 	Compact bool
+	// BuildWorkers races this many independent (f, g, z) draws per round
+	// of the §2.2 resampling loop, cutting the wall-clock of the geometric
+	// retry by the worker count. 0 or 1 selects the serial loop, which is
+	// byte-identical to historical builds. With k > 1 workers every round
+	// examines k candidates — each drawn from its own deterministically
+	// seeded stream — and accepts the success of lowest (round, worker)
+	// rank, so a given (seed, BuildWorkers) pair is fully reproducible;
+	// different worker counts may, however, select different (equally
+	// valid) hash functions.
+	BuildWorkers int
 }
 
 // DefaultParams returns the paper-faithful defaults described on Params.
@@ -166,6 +177,9 @@ func (p Params) validate() error {
 	}
 	if p.SlackGrowth <= 1 {
 		return fmt.Errorf("core: slack growth %v must exceed 1", p.SlackGrowth)
+	}
+	if p.BuildWorkers < 0 {
+		return fmt.Errorf("core: build workers %d must be ≥ 0", p.BuildWorkers)
 	}
 	return nil
 }
@@ -297,53 +311,132 @@ func Build(keys []uint64, p Params, seed uint64) (*Dict, error) {
 	return dict, nil
 }
 
-// drawHashes resamples (f, g, z) until property P(S) holds, escalating the
-// slack constant c if a slack level exhausts its budget.
-func (dict *Dict) drawHashes(keys []uint64, p Params, rand *rng.RNG) error {
+// hashDraw is one candidate (f, g, z) together with its property-P(S)
+// verdict and the load statistics the build report records.
+type hashDraw struct {
+	f, g      hash.Poly
+	z         []uint64
+	hLoads    []int
+	maxBucket int
+	maxGroup  int
+	maxG      int
+	ss        int
+	ok        bool
+}
+
+// drawCandidate draws one (f, g, z) from rand and checks property P(S) at
+// slack c. It always consumes exactly 2d + r values from rand, whether or
+// not the checks pass, so candidate streams stay aligned.
+func (dict *Dict) drawCandidate(keys []uint64, c float64, rand *rng.RNG) hashDraw {
 	n, s, r, m, d := dict.n, dict.s, dict.r, dict.m, dict.d
+	f := hash.NewPoly(rand, d, uint64(s))
+	g := hash.NewPoly(rand, d, uint64(r))
+	z := make([]uint64, r)
+	for i := range z {
+		z[i] = rand.Uint64n(uint64(s))
+	}
+	cand := hashDraw{f: f, g: g, z: z}
+	hEval := func(x uint64) uint64 { return (f.Eval(x) + z[g.Eval(x)]) % uint64(s) }
+
+	gLoads := hash.Loads(keys, g.Eval, r)
+	if float64(hash.MaxLoad(gLoads)) > c*float64(n)/float64(r) {
+		return cand
+	}
+	hLoads := hash.Loads(keys, hEval, s)
+	hpLoads := make([]int, m)
+	for i, l := range hLoads {
+		hpLoads[i%m] += l
+	}
+	if float64(hash.MaxLoad(hpLoads)) > c*float64(n)/float64(m) {
+		return cand
+	}
+	ss := hash.SumSquares(hLoads)
+	if ss > s {
+		return cand
+	}
+	cand.hLoads = hLoads
+	cand.maxBucket = hash.MaxLoad(hLoads)
+	cand.maxGroup = hash.MaxLoad(hpLoads)
+	cand.maxG = hash.MaxLoad(gLoads)
+	cand.ss = ss
+	cand.ok = true
+	return cand
+}
+
+// accept installs a successful draw and fills the build report.
+func (dict *Dict) accept(cand hashDraw, tries, esc int, c float64) {
+	dict.f, dict.g, dict.z, dict.hLoads = cand.f, cand.g, cand.z, cand.hLoads
+	dict.report = BuildReport{
+		N: dict.n, S: dict.s, R: dict.r, M: dict.m,
+		HashTries: tries, Escalations: esc, FinalC: c,
+		MaxBucketLoad: cand.maxBucket,
+		MaxGroupLoad:  cand.maxGroup,
+		MaxGLoad:      cand.maxG,
+		SumSquares:    cand.ss,
+	}
+}
+
+// drawHashes resamples (f, g, z) until property P(S) holds, escalating the
+// slack constant c if a slack level exhausts its budget. With
+// BuildWorkers > 1 the resampling races that many draws per round.
+func (dict *Dict) drawHashes(keys []uint64, p Params, rand *rng.RNG) error {
+	if p.BuildWorkers > 1 {
+		return dict.drawHashesParallel(keys, p, rand)
+	}
 	c := p.C
 	tries := 0
 	for esc := 0; esc <= p.MaxEscalations; esc++ {
 		for t := 0; t < p.MaxTriesPerSlack; t++ {
 			tries++
-			f := hash.NewPoly(rand, d, uint64(s))
-			g := hash.NewPoly(rand, d, uint64(r))
-			z := make([]uint64, r)
-			for i := range z {
-				z[i] = rand.Uint64n(uint64(s))
+			if cand := dict.drawCandidate(keys, c, rand); cand.ok {
+				dict.accept(cand, tries, esc, c)
+				return nil
 			}
-			hEval := func(x uint64) uint64 { return (f.Eval(x) + z[g.Eval(x)]) % uint64(s) }
-
-			gLoads := hash.Loads(keys, g.Eval, r)
-			if float64(hash.MaxLoad(gLoads)) > c*float64(n)/float64(r) {
-				continue
-			}
-			hLoads := hash.Loads(keys, hEval, s)
-			hpLoads := make([]int, m)
-			for i, l := range hLoads {
-				hpLoads[i%m] += l
-			}
-			if float64(hash.MaxLoad(hpLoads)) > c*float64(n)/float64(m) {
-				continue
-			}
-			ss := hash.SumSquares(hLoads)
-			if ss > s {
-				continue
-			}
-			dict.f, dict.g, dict.z, dict.hLoads = f, g, z, hLoads
-			dict.report = BuildReport{
-				N: n, S: s, R: r, M: m,
-				HashTries: tries, Escalations: esc, FinalC: c,
-				MaxBucketLoad: hash.MaxLoad(hLoads),
-				MaxGroupLoad:  hash.MaxLoad(hpLoads),
-				MaxGLoad:      hash.MaxLoad(gLoads),
-				SumSquares:    ss,
-			}
-			return nil
 		}
 		c *= p.SlackGrowth
 	}
-	return fmt.Errorf("core: property P(S) not satisfied for n=%d after %d tries and %d escalations", n, tries, p.MaxEscalations)
+	return fmt.Errorf("core: property P(S) not satisfied for n=%d after %d tries and %d escalations", dict.n, tries, p.MaxEscalations)
+}
+
+// drawHashesParallel is the §2.2 resampling loop with K = BuildWorkers
+// draws raced per round. Each worker owns a stream split deterministically
+// from the build RNG and draws one candidate per round whether or not it is
+// needed, so the accepted draw depends only on (seed, K): the winner is the
+// success of lowest (round, worker) rank, never the first to finish on the
+// clock. Each slack level examines ⌈MaxTriesPerSlack/K⌉ rounds, preserving
+// the serial loop's per-slack draw budget up to rounding.
+func (dict *Dict) drawHashesParallel(keys []uint64, p Params, rand *rng.RNG) error {
+	K := p.BuildWorkers
+	wrng := make([]*rng.RNG, K)
+	for k := range wrng {
+		wrng[k] = rand.Split()
+	}
+	c := p.C
+	rounds := (p.MaxTriesPerSlack + K - 1) / K
+	tries := 0
+	cands := make([]hashDraw, K)
+	for esc := 0; esc <= p.MaxEscalations; esc++ {
+		for t := 0; t < rounds; t++ {
+			var wg sync.WaitGroup
+			for k := 0; k < K; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					cands[k] = dict.drawCandidate(keys, c, wrng[k])
+				}(k)
+			}
+			wg.Wait()
+			for k := 0; k < K; k++ {
+				if cands[k].ok {
+					dict.accept(cands[k], tries+k+1, esc, c)
+					return nil
+				}
+			}
+			tries += K
+		}
+		c *= p.SlackGrowth
+	}
+	return fmt.Errorf("core: property P(S) not satisfied for n=%d after %d tries and %d escalations", dict.n, tries, p.MaxEscalations)
 }
 
 // phSource supplies the perfect hash for one bucket's keys and span. Build

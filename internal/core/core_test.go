@@ -594,3 +594,130 @@ func BenchmarkContains(b *testing.B) {
 		}
 	}
 }
+
+// TestContainsScratchMatchesContains: the scratch fast path must make the
+// same probes and give the same answers as the allocating path — run both
+// from cloned RNG states and compare.
+func TestContainsScratchMatchesContains(t *testing.T) {
+	keys := distinctKeys(rng.New(21), 700)
+	dict := mustBuild(t, keys, 5)
+	probe := append(append([]uint64{}, keys[:50]...), distinctKeys(rng.New(22), 50)...)
+	r1 := rng.New(99)
+	r2 := r1.Clone()
+	sc := new(QueryScratch)
+	for _, x := range probe {
+		want, err1 := dict.Contains(x, r1)
+		got, err2 := dict.ContainsScratch(x, r2, sc)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %d errored: %v / %v", x, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("scratch path diverged on key %d: %v != %v", x, got, want)
+		}
+	}
+}
+
+func TestContainsBatchCore(t *testing.T) {
+	keys := distinctKeys(rng.New(23), 500)
+	dict := mustBuild(t, keys, 6)
+	absent := distinctKeys(rng.New(24), 500)
+	probe := append(append([]uint64{}, keys...), absent...)
+	out := make([]bool, len(probe))
+	if err := dict.ContainsBatch(probe, out, rng.New(7), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !out[i] {
+			t.Fatalf("batch lost stored key %d", probe[i])
+		}
+	}
+	for i := len(keys); i < len(probe); i++ {
+		if out[i] {
+			t.Fatalf("batch claims absent key %d", probe[i])
+		}
+	}
+	if err := dict.ContainsBatch(probe, out[:1], rng.New(7), nil); err == nil {
+		t.Error("short output slice accepted")
+	}
+}
+
+// TestContainsScratchZeroAlloc: after warm-up, the explicit-scratch query
+// path with a plain RNG source allocates nothing at all.
+func TestContainsScratchZeroAlloc(t *testing.T) {
+	keys := distinctKeys(rng.New(25), 1000)
+	dict := mustBuild(t, keys, 7)
+	r := rng.New(11)
+	sc := new(QueryScratch)
+	if _, err := dict.ContainsScratch(keys[0], r, sc); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		i++
+		if _, err := dict.ContainsScratch(keys[i%len(keys)], r, sc); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ContainsScratch allocates %v objects per query, want 0", allocs)
+	}
+}
+
+// TestParallelBuildDeterministic: racing K draws must be reproducible for a
+// fixed (seed, K) and must pass the same membership oracle as serial builds.
+func TestParallelBuildDeterministic(t *testing.T) {
+	keys := distinctKeys(rng.New(26), 900)
+	build := func(workers int) *Dict {
+		d, err := Build(keys, Params{BuildWorkers: workers}, 9)
+		if err != nil {
+			t.Fatalf("Build(workers=%d): %v", workers, err)
+		}
+		return d
+	}
+	a, b := build(4), build(4)
+	if a.report != b.report {
+		t.Fatalf("parallel build not reproducible: %+v != %+v", a.report, b.report)
+	}
+	for i := range a.f.Coef {
+		if a.f.Coef[i] != b.f.Coef[i] || a.g.Coef[i] != b.g.Coef[i] {
+			t.Fatal("parallel build drew different hash functions for the same (seed, workers)")
+		}
+	}
+	// Serial (0 and 1 workers) builds are identical to each other.
+	s0, s1 := build(0), build(1)
+	if s0.report != s1.report {
+		t.Fatalf("workers 0 and 1 disagree: %+v != %+v", s0.report, s1.report)
+	}
+	// Every variant answers membership exactly.
+	r := rng.New(13)
+	absent := distinctKeys(rng.New(27), 200)
+	for _, d := range []*Dict{a, s0} {
+		for _, k := range keys {
+			if ok, err := d.Contains(k, r); err != nil || !ok {
+				t.Fatalf("lost key %d (err %v)", k, err)
+			}
+		}
+		for _, k := range absent {
+			if ok, err := d.Contains(k, r); err != nil || ok {
+				t.Fatalf("phantom key %d (err %v)", k, err)
+			}
+		}
+	}
+}
+
+// TestParallelBuildReportsPlausibleTries: the deterministic (round, worker)
+// acceptance rank must be reflected in HashTries.
+func TestParallelBuildReportsPlausibleTries(t *testing.T) {
+	keys := distinctKeys(rng.New(28), 600)
+	d, err := Build(keys, Params{BuildWorkers: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	if rep.HashTries < 1 {
+		t.Fatalf("HashTries = %d, want ≥ 1", rep.HashTries)
+	}
+	if rep.SumSquares > rep.S {
+		t.Fatalf("accepted draw violates FKS: Σℓ² = %d > s = %d", rep.SumSquares, rep.S)
+	}
+}

@@ -9,32 +9,70 @@ import (
 	"repro/internal/rng"
 )
 
+// QueryScratch holds the per-query working memory of Contains: the f and g
+// coefficient buffers and the group-histogram words. A zero QueryScratch is
+// ready to use; buffers grow on first use and are reused afterwards, so a
+// caller that keeps one scratch per goroutine (the facade pools them) pays
+// no heap allocation per query. A scratch must not be shared by concurrent
+// queries.
+type QueryScratch struct {
+	fc, gc []uint64
+	words  []uint64
+	vec    bitvec.Vector
+}
+
+// ensure sizes the buffers for a dictionary with degree d and rho histogram
+// rows.
+func (sc *QueryScratch) ensure(d, rho int) {
+	if cap(sc.fc) < d {
+		sc.fc = make([]uint64, d)
+		sc.gc = make([]uint64, d)
+	}
+	sc.fc, sc.gc = sc.fc[:d], sc.gc[:d]
+	if cap(sc.words) < 2*rho {
+		sc.words = make([]uint64, 2*rho)
+	}
+	sc.words = sc.words[:2*rho]
+}
+
 // Contains answers the membership query for x using the paper's §2.3
 // four-phase algorithm. Every value it uses is read from table cells via
 // recorded probes; the random source chooses which replica each probe
 // reads. Pass an *rng.RNG for reproducible sequential queries or a shared
-// rng.Sharded for concurrent ones. It returns an error only if the table is
-// corrupt (failure injection); on a well-formed table the answer is exact.
+// rng.Sharded for concurrent ones.
+//
+// The returned error is non-nil only when the table itself is corrupt
+// (failure injection, bit flips): every error path is a consistency check
+// on cell contents. On a well-formed table the answer is exact and the
+// error is always nil.
+//
+// Contains allocates a fresh QueryScratch per call; hot paths should use
+// ContainsScratch with a reused scratch instead.
 func (dict *Dict) Contains(x uint64, r rng.Source) (bool, error) {
+	var sc QueryScratch
+	return dict.ContainsScratch(x, r, &sc)
+}
+
+// ContainsScratch is Contains with caller-supplied working memory. After
+// the scratch's first use it performs zero heap allocations, so a caller
+// that reuses one scratch per goroutine gets an allocation-free read path.
+func (dict *Dict) ContainsScratch(x uint64, r rng.Source, sc *QueryScratch) (bool, error) {
 	tab := dict.tab
 	d, s := dict.d, dict.s
+	sc.ensure(d, dict.rho)
 
 	// Phase 1: read the 2d coefficient cells (one random replica each),
-	// reconstruct f and g, then read z_{g(x)} from a random copy.
-	fc := make([]uint64, d)
-	gc := make([]uint64, d)
+	// reconstruct f and g in place, then read z_{g(x)} from a random copy.
 	for i := 0; i < d; i++ {
-		fc[i] = tab.Probe(i, i, r.Intn(s)).Lo
-		gc[i] = tab.Probe(d+i, d+i, r.Intn(s)).Lo
+		sc.fc[i] = tab.Probe(i, i, r.Intn(s)).Lo
+		sc.gc[i] = tab.Probe(d+i, d+i, r.Intn(s)).Lo
 	}
-	f := hash.PolyFromCoef(fc, uint64(s))
-	g := hash.PolyFromCoef(gc, uint64(dict.r))
-	gx := int(g.Eval(x))
+	gx := int(hash.EvalFromCoef(sc.gc, uint64(dict.r), x))
 	zv := tab.Probe(2*d, dict.zRow(), dict.zReplicaCol(gx, r.Intn(dict.blkZ))).Lo
 	if zv >= uint64(s) {
-		return false, fmt.Errorf("core: z value %d out of range %d", zv, s)
+		return false, fmt.Errorf("core: corrupt table: z value %d outside [0, %d)", zv, s)
 	}
-	h := int((f.Eval(x) + zv) % uint64(s))
+	h := int((hash.EvalFromCoef(sc.fc, uint64(s), x) + zv) % uint64(s))
 	hp := h % dict.m
 	posInGroup := h / dict.m
 
@@ -42,31 +80,28 @@ func (dict *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 	step := 2*d + 1
 	gbas := tab.Probe(step, dict.gbasRow(), dict.groupReplicaCol(hp, r.Intn(dict.blkG))).Lo
 	if gbas > uint64(s) {
-		return false, fmt.Errorf("core: group base address %d out of range %d", gbas, s)
+		return false, fmt.Errorf("core: corrupt table: group base address %d outside [0, %d]", gbas, s)
 	}
-	words := make([]uint64, 2*dict.rho)
 	for w := 0; w < dict.rho; w++ {
 		step++
 		c := tab.Probe(step, dict.histRow()+w, dict.groupReplicaCol(hp, r.Intn(dict.blkG)))
-		words[2*w], words[2*w+1] = c.Lo, c.Hi
-	}
-	loads, err := bitvec.DecodeHistogramPrefix(bitvec.FromWords(words, dict.rho*128), posInGroup+1)
-	if err != nil {
-		return false, fmt.Errorf("core: corrupt group histogram for group %d: %w", hp, err)
+		sc.words[2*w], sc.words[2*w+1] = c.Lo, c.Hi
 	}
 
-	// Phase 3: locate the bucket's ℓ² cell span.
-	off := int(gbas)
-	for k := 0; k < posInGroup; k++ {
-		off += loads[k] * loads[k]
+	// Phase 3: stream the histogram prefix to locate the bucket's ℓ² cell
+	// span — Σ_{k<pos} ℓ_k² cells past the group base, ℓ_pos² cells wide.
+	sc.vec.Reset(sc.words, dict.rho*128)
+	sumSq, l, err := bitvec.HistogramPrefixSum(&sc.vec, posInGroup+1)
+	if err != nil {
+		return false, fmt.Errorf("core: corrupt table: histogram of group %d: %w", hp, err)
 	}
-	l := loads[posInGroup]
 	if l == 0 {
 		return false, nil // empty bucket: the key cannot be present
 	}
+	off := int(gbas) + sumSq
 	span := l * l
 	if off+span > s {
-		return false, fmt.Errorf("core: bucket span [%d,%d) exceeds s = %d", off, off+span, s)
+		return false, fmt.Errorf("core: corrupt table: bucket span [%d, %d) exceeds s = %d", off, off+span, s)
 	}
 
 	// Phase 4: perfect hash from a random cell of the span, then the data cell.
@@ -76,6 +111,26 @@ func (dict *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 	step++
 	dc := tab.Probe(step, dict.dataRow(), off+int(hstar.Eval(x)))
 	return dc.Hi == occupiedTag && dc.Lo == x, nil
+}
+
+// ContainsBatch answers membership for every keys[i] into out[i], reusing
+// one scratch across the whole batch. out must be at least as long as keys.
+// It stops at the first corrupt-table error.
+func (dict *Dict) ContainsBatch(keys []uint64, out []bool, r rng.Source, sc *QueryScratch) error {
+	if len(out) < len(keys) {
+		return fmt.Errorf("core: ContainsBatch output length %d < %d keys", len(out), len(keys))
+	}
+	if sc == nil {
+		sc = new(QueryScratch)
+	}
+	for i, x := range keys {
+		ok, err := dict.ContainsScratch(x, r, sc)
+		if err != nil {
+			return err
+		}
+		out[i] = ok
+	}
+	return nil
 }
 
 // ProbeSpec returns the exact per-step probe distribution P_t(x, ·) of the

@@ -177,6 +177,7 @@ type Dict struct {
 	n   atomic.Int64 // len(members), mirrored for lock-free Len
 
 	readProbes *cellprobe.StripedCounter
+	scratch    sync.Pool // *core.QueryScratch reused across Contains calls
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -204,6 +205,7 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 		readProbes: cellprobe.NewStripedCounter(),
 		members:    make(map[uint64]bool, len(initial)),
 	}
+	d.scratch.New = func() any { return new(core.QueryScratch) }
 	d.cond = sync.NewCond(&d.mu)
 	for _, k := range initial {
 		if k >= hash.MaxKey {
@@ -377,9 +379,19 @@ func (d *Dict) writableEpoch() (*epoch, error) {
 
 // Contains answers membership for x through recorded probes on both the
 // buffer and the static tables of the current epoch. It takes no lock and
-// writes no shared cache line beyond the striped probe counter.
+// writes no shared cache line beyond the striped probe counter; its working
+// memory comes from a pooled scratch, so the steady-state read path
+// performs no heap allocation.
 func (d *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 	e := d.cur.Load()
+	sc := d.scratch.Get().(*core.QueryScratch)
+	ok, err := d.containsEpoch(e, x, r, sc)
+	d.scratch.Put(sc)
+	return ok, err
+}
+
+// containsEpoch answers membership against one pinned epoch.
+func (d *Dict) containsEpoch(e *epoch, x uint64, r rng.Source, sc *core.QueryScratch) (bool, error) {
 	b := e.buf
 	h := b.params(r)
 	_, tag, found, probes, err := b.find(x, h)
@@ -396,7 +408,30 @@ func (d *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 		}
 	}
 	d.readProbes.Add(uint64(e.base.MaxProbes()))
-	return e.base.Contains(x, r)
+	return e.base.ContainsScratch(x, r, sc)
+}
+
+// ContainsBatch answers membership for every keys[i] into out[i]. The whole
+// batch runs against a single epoch snapshot loaded once up front — one
+// atomic pointer load and one scratch fetch amortized over the batch — so
+// concurrent updates that publish a new epoch mid-batch are not observed.
+// out must be at least as long as keys. It stops at the first corrupt-table
+// error.
+func (d *Dict) ContainsBatch(keys []uint64, out []bool, r rng.Source) error {
+	if len(out) < len(keys) {
+		return fmt.Errorf("dynamic: ContainsBatch output length %d < %d keys", len(out), len(keys))
+	}
+	e := d.cur.Load()
+	sc := d.scratch.Get().(*core.QueryScratch)
+	defer d.scratch.Put(sc)
+	for i, x := range keys {
+		ok, err := d.containsEpoch(e, x, r, sc)
+		if err != nil {
+			return err
+		}
+		out[i] = ok
+	}
+	return nil
 }
 
 // Insert adds x. It reports whether the dictionary changed; crossing the

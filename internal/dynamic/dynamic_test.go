@@ -388,3 +388,39 @@ func BenchmarkDynamicContains(b *testing.B) {
 		}
 	}
 }
+
+// TestContainsBatchAgreesWithContains: the batched path answers against one
+// epoch snapshot and must agree with per-key queries on a quiescent dict.
+func TestContainsBatchAgreesWithContains(t *testing.T) {
+	r := rng.New(51)
+	keys := distinctKeys(r, 400)
+	d := mustNew(t, keys[:200], 5)
+	for _, k := range keys[200:300] {
+		if _, err := d.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys[:50] {
+		if _, err := d.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Quiesce()
+	qr := rng.New(52)
+	out := make([]bool, len(keys))
+	if err := d.ContainsBatch(keys, out, qr); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want, err := d.Contains(k, qr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != want {
+			t.Fatalf("batch[%d] (key %d) = %v, want %v", i, k, out[i], want)
+		}
+	}
+	if err := d.ContainsBatch(keys, out[:3], qr); err == nil {
+		t.Error("short output slice accepted")
+	}
+}

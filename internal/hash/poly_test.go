@@ -241,3 +241,18 @@ func distinctKeys(r *rng.RNG, n int) []uint64 {
 	}
 	return keys
 }
+
+func TestEvalFromCoefMatchesPoly(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + r.Intn(6)
+		m := 1 + r.Uint64n(1<<40)
+		h := NewPoly(r, d, m)
+		for q := 0; q < 20; q++ {
+			x := r.Uint64n(MaxKey)
+			if got, want := EvalFromCoef(h.Coef, m, x), h.Eval(x); got != want {
+				t.Fatalf("EvalFromCoef(d=%d, m=%d, x=%d) = %d, want %d", d, m, x, got, want)
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ package lcds
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/contention"
 	"repro/internal/core"
@@ -44,6 +45,16 @@ type Dict struct {
 	inner *core.Dict
 	seed  uint64
 	src   rng.Source
+	// scratch pools per-query working memory (coefficient buffers,
+	// histogram words) so the steady-state read path allocates nothing.
+	scratch sync.Pool
+}
+
+// newDict wraps a built core dictionary with its query source and pool.
+func newDict(inner *core.Dict, seed uint64, src rng.Source) *Dict {
+	d := &Dict{inner: inner, seed: seed, src: src}
+	d.scratch.New = func() any { return new(core.QueryScratch) }
+	return d
 }
 
 // QuerySource is the stream of uniform draws a query consumes for its
@@ -118,6 +129,24 @@ func WithSlack(slack float64) Option {
 	return func(c *opterr) { c.o.params.C = slack }
 }
 
+// WithParallelBuild races workers ≥ 1 independent (f, g, z) draws per round
+// of the construction's resampling loop, dividing the wall-clock of the
+// expected-O(1) geometric retry by the worker count. Builds remain fully
+// deterministic for a given (seed, workers) pair — the accepted draw is the
+// success of lowest (round, worker) rank, not the first to finish on the
+// clock — but different worker counts may select different (equally valid)
+// hash functions. The default (1) reproduces historical builds byte for
+// byte.
+func WithParallelBuild(workers int) Option {
+	return func(c *opterr) {
+		if workers < 1 {
+			c.err = fmt.Errorf("lcds: parallel build workers %d must be ≥ 1", workers)
+			return
+		}
+		c.o.params.BuildWorkers = workers
+	}
+}
+
 // WithCompact backs the replicated table rows with one stored value per
 // replica block instead of materializing every copy, cutting the heap
 // footprint ≈ 7× with no observable behaviour change. Recommended for
@@ -140,7 +169,7 @@ func New(keys []uint64, opts ...Option) (*Dict, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dict{inner: inner, seed: cfg.o.seed, src: cfg.o.querySource()}, nil
+	return newDict(inner, cfg.o.seed, cfg.o.querySource()), nil
 }
 
 // querySource resolves the configured query source, defaulting to a
@@ -162,11 +191,28 @@ func (d *Dict) Contains(x uint64) bool {
 	return ok
 }
 
-// Lookup reports membership and surfaces table corruption as an error.
-// It acquires no lock and writes no memory outside the query source's
-// cache-line-private shard.
+// Lookup reports membership and surfaces table corruption as an error — and
+// only table corruption (failure injection, bit flips): on a well-formed
+// table the error is always nil and the answer exact. It acquires no lock,
+// writes no memory outside the query source's cache-line-private shard, and
+// performs no steady-state heap allocation (query working memory comes from
+// an internal pool).
 func (d *Dict) Lookup(x uint64) (bool, error) {
-	return d.inner.Contains(x, d.src)
+	sc := d.scratch.Get().(*core.QueryScratch)
+	ok, err := d.inner.ContainsScratch(x, d.src, sc)
+	d.scratch.Put(sc)
+	return ok, err
+}
+
+// ContainsBatch answers membership for every keys[i] into out[i], reusing
+// one pooled scratch across the whole batch — the cheapest way to issue
+// many queries from one goroutine. out must be at least as long as keys.
+// It stops at the first corrupt-table error; on a well-formed table it
+// never errors.
+func (d *Dict) ContainsBatch(keys []uint64, out []bool) error {
+	sc := d.scratch.Get().(*core.QueryScratch)
+	defer d.scratch.Put(sc)
+	return d.inner.ContainsBatch(keys, out, d.src, sc)
 }
 
 // Len returns the number of stored keys.
@@ -242,7 +288,7 @@ func Read(r io.Reader, opts ...Option) (*Dict, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dict{inner: inner, seed: cfg.o.seed, src: cfg.o.querySource()}, nil
+	return newDict(inner, cfg.o.seed, cfg.o.querySource()), nil
 }
 
 // ContentionSummary computes the exact contention under uniform queries

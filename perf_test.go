@@ -1,0 +1,140 @@
+package lcds
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// TestContainsZeroAlloc guards the zero-allocation query fast path: a
+// regression that reintroduces per-query heap allocation fails here rather
+// than silently in a benchmark. The core path with an explicit scratch and
+// a plain RNG is strictly allocation-free; the facade paths draw scratch
+// and randomness from pools, so GC is paused while counting to keep pool
+// refills out of the measurement.
+func TestContainsZeroAlloc(t *testing.T) {
+	keys := testKeys(4096, 9)
+	d, err := New(keys, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Core path: explicit scratch, sequential RNG — no pools involved.
+	r := rng.New(1)
+	sc := new(core.QueryScratch)
+	if _, err := d.inner.ContainsScratch(keys[0], r, sc); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(400, func() {
+		i++
+		if _, err := d.inner.ContainsScratch(keys[i%len(keys)], r, sc); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("core ContainsScratch: %v allocs/op, want 0", allocs)
+	}
+
+	gc := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gc)
+
+	// Facade single-key path (pooled scratch + sharded source).
+	d.Contains(keys[0])
+	if allocs := testing.AllocsPerRun(400, func() {
+		i++
+		if !d.Contains(keys[i%len(keys)]) {
+			t.Error("lost key")
+		}
+	}); allocs != 0 {
+		t.Fatalf("facade Contains: %v allocs/op, want 0", allocs)
+	}
+
+	// Facade batch path.
+	batch := keys[:256]
+	out := make([]bool, len(batch))
+	if err := d.ContainsBatch(batch, out); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := d.ContainsBatch(batch, out); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("facade ContainsBatch: %v allocs per batch, want 0", allocs)
+	}
+}
+
+func TestContainsBatchFacade(t *testing.T) {
+	keys := testKeys(2000, 10)
+	d, err := New(keys[:1000], WithSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, len(keys))
+	if err := d.ContainsBatch(keys, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if want := i < 1000; out[i] != want {
+			t.Fatalf("batch[%d] (key %d) = %v, want %v", i, k, out[i], want)
+		}
+	}
+	if err := d.ContainsBatch(keys, out[:10]); err == nil {
+		t.Error("short output slice accepted")
+	}
+}
+
+func TestDynamicContainsBatchFacade(t *testing.T) {
+	keys := testKeys(1500, 11)
+	d, err := NewDynamic(keys[:1000], 0.5, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[1000:1200] {
+		if _, err := d.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Quiesce()
+	out := make([]bool, len(keys))
+	if err := d.ContainsBatch(keys, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want := i < 1200
+		got, err := d.Contains(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want || out[i] != want {
+			t.Fatalf("key %d: batch=%v single=%v want %v", k, out[i], got, want)
+		}
+	}
+}
+
+// TestParallelBuildFacade: WithParallelBuild must be deterministic per
+// (seed, workers) and build a correct dictionary.
+func TestParallelBuildFacade(t *testing.T) {
+	keys := testKeys(3000, 12)
+	a, err := New(keys, WithSeed(12), WithParallelBuild(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(keys, WithSeed(12), WithParallelBuild(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("parallel facade build not reproducible: %+v != %+v", a.Stats(), b.Stats())
+	}
+	for _, k := range keys {
+		if !a.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	if _, err := New(keys, WithParallelBuild(0)); err == nil {
+		t.Error("WithParallelBuild(0) accepted")
+	}
+}

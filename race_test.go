@@ -45,6 +45,96 @@ func TestConcurrentStaticContains(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentBatchContains hammers the batch query paths: many goroutines
+// call ContainsBatch on one static Dict (pooled scratch reuse under the race
+// detector) while the dynamic variant below also sees rebuilds in flight.
+func TestConcurrentBatchContains(t *testing.T) {
+	goroutines, rounds := 8, 40
+	if testing.Short() {
+		goroutines, rounds = 4, 8
+	}
+	keys := testKeys(4096, 71)
+	d, err := New(keys[:2048], WithSeed(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]bool, len(keys))
+			for i := 0; i < rounds; i++ {
+				if err := d.ContainsBatch(keys, out); err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range keys {
+					if want := j < 2048; out[j] != want {
+						t.Errorf("goroutine %d: batch[%d] = %v, want %v", g, j, out[j], want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentDynamicBatch runs ContainsBatch readers against a churning
+// DynamicDict so the epoch-snapshot batch path races with writers and
+// background rebuilds.
+func TestConcurrentDynamicBatch(t *testing.T) {
+	readers, rounds, writerOps := 4, 30, 1500
+	if testing.Short() {
+		readers, rounds, writerOps = 2, 6, 300
+	}
+	keys := testKeys(3000, 81)
+	stable, volatile := keys[:1500], keys[1500:]
+	d, err := NewDynamic(stable, 0.5, WithSeed(82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]bool, len(stable))
+			for i := 0; i < rounds; i++ {
+				if err := d.ContainsBatch(stable, out); err != nil {
+					t.Error(err)
+					return
+				}
+				for j, ok := range out {
+					if !ok {
+						t.Errorf("stable key %d reported absent by batch", stable[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerOps; i++ {
+			k := volatile[i%len(volatile)]
+			var err error
+			if i%2 == 0 {
+				_, err = d.Insert(k)
+			} else {
+				_, err = d.Delete(k)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
 // TestConcurrentDynamicHammer mixes Contains, Insert, Delete and Len on one
 // DynamicDict. Stable keys are never touched by writers, so readers can
 // check exact answers; volatile keys churn to keep rebuilds in flight.
