@@ -13,8 +13,10 @@ import (
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/rng"
+	"repro/internal/shard"
 )
 
 // benchConfig scales the experiment suite for benchmarking. Set the
@@ -107,6 +109,9 @@ func BenchmarkTableA5(b *testing.B) { benchExperiment(b, "A5") }
 
 // BenchmarkTableA6 regenerates A6 — hash-family ablation.
 func BenchmarkTableA6(b *testing.B) { benchExperiment(b, "A6") }
+
+// BenchmarkTableA7 regenerates A7 — sharded contention composition.
+func BenchmarkTableA7(b *testing.B) { benchExperiment(b, "A7") }
 
 // BenchmarkTableT7 regenerates T7 — uniform-negative query sweep.
 func BenchmarkTableT7(b *testing.B) { benchExperiment(b, "T7") }
@@ -435,6 +440,87 @@ func BenchmarkDynamicMixGoroutines(b *testing.B) {
 				d.Quiesce()
 			})
 		}
+	}
+}
+
+// --- Sharding benchmarks ----------------------------------------------------
+//
+// WithShards(p) trades one extra routing probe per query for scale-out: batch
+// queries fan out one goroutine per shard, and each dynamic shard rebuilds
+// ε·(n/p) keys instead of ε·n. The first benchmark shows batch throughput
+// against the shard count, the second the rebuild pause an insert stream
+// absorbs (inline rebuilds, so the cost lands on the measured goroutine
+// instead of racing a background worker).
+
+// BenchmarkShardedBatch measures facade ContainsBatch throughput as the shard
+// count grows. shards=1 is the unsharded single-goroutine batch path; p ≥ 2
+// answers per-shard groups concurrently.
+func BenchmarkShardedBatch(b *testing.B) {
+	keys := benchKeys(b)
+	const batch = 4096
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			d, err := New(keys, WithSeed(10), WithShards(p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]bool, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.ContainsBatch(keys[:batch], out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/key")
+		})
+	}
+}
+
+// BenchmarkShardedRebuildPause measures an insert stream against the dynamic
+// dictionary with rebuilds run inline (SyncRebuild), so every rebuild's full
+// pause is charged to the inserting goroutine. Sharding divides each pause:
+// a rebuild re-keys one shard's ε·(n/p) keys, not ε·n.
+func BenchmarkShardedRebuildPause(b *testing.B) {
+	keys := testKeys(benchN+benchN, 11)
+	resident, extra := keys[:benchN], keys[benchN:]
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			var d *dynamic.Dict
+			var sd *shard.DynamicDict
+			params := dynamic.Params{SyncRebuild: true}
+			var err error
+			if p == 1 {
+				d, err = dynamic.New(resident, params, 12)
+			} else {
+				sd, err = shard.NewDynamic(resident, p, params, 12)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := extra[i%len(extra)]
+				if i/len(extra)%2 == 0 {
+					if p == 1 {
+						_, err = d.Insert(k)
+					} else {
+						_, err = sd.Insert(k)
+					}
+				} else {
+					if p == 1 {
+						_, err = d.Delete(k)
+					} else {
+						_, err = sd.Delete(k)
+					}
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

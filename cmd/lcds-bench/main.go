@@ -21,6 +21,11 @@ import (
 	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/scheme"
+
+	// Register every structure so -structures can name any of them.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
 )
 
 func main() {
@@ -32,6 +37,7 @@ func main() {
 	queries := flag.Int("queries", 0, "Monte-Carlo query count")
 	trials := flag.Int("trials", 0, "trials for rate experiments (T4, T5)")
 	procs := flag.String("procs", "", "comma-separated processor counts for F2")
+	structures := flag.String("structures", "", "comma-separated registry names restricting roster experiments (T2, T3, T6, F1, F2, ...)")
 	markdown := flag.Bool("markdown", false, "render GitHub-flavored markdown tables")
 	parallel := flag.Bool("parallel", false, "run independent experiments concurrently (output order is preserved)")
 	jsonMode := flag.Bool("json", false, "run the micro-perf suite and write BENCH_<date>.json")
@@ -78,6 +84,16 @@ func main() {
 			fatal(err)
 		}
 		cfg.Procs = list
+	}
+	if *structures != "" {
+		for _, name := range strings.Split(*structures, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := scheme.Lookup(name); !ok {
+				fatal(fmt.Errorf("unknown structure %q (registered: %s)",
+					name, strings.Join(scheme.Names(), ", ")))
+			}
+			cfg.Structures = append(cfg.Structures, name)
+		}
 	}
 
 	var ids []string

@@ -14,17 +14,27 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/hash"
 	"repro/internal/rng"
+	"repro/internal/scheme"
+	"repro/internal/shard"
+
+	// Register every structure the -structure flag can name.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
 )
 
 func main() {
-	name := flag.String("structure", "lcds", "lcds, fks, fks+rep, dm, cuckoo, cuckoo+rep, bsearch, linear+rep")
+	name := flag.String("structure", "lcds", "any registered structure (see -list)")
+	list := flag.Bool("list", false, "print the registered structure names and exit")
 	n := flag.Int("n", 8192, "number of stored keys")
+	shards := flag.Int("shards", 1, "shard the structure P ways behind a routing row (P ≥ 2)")
 	distName := flag.String("dist", "uniform-pos", "uniform-pos, uniform-neg, posneg, zipf, point")
 	zipfExp := flag.Float64("zipf", 1.0, "Zipf exponent")
 	queries := flag.Int("queries", 200000, "Monte-Carlo query count")
@@ -32,20 +42,21 @@ func main() {
 	explain := flag.Bool("explain", false, "trace one query step by step (lcds only)")
 	flag.Parse()
 
+	if *list {
+		fmt.Println(strings.Join(scheme.Names(), "\n"))
+		return
+	}
+
 	keys := experiments.Keys(*n, *seed)
-	sts, err := experiments.BuildAll(keys, *seed)
+	var st contention.Structure
+	var err error
+	if *shards > 1 {
+		st, err = shard.NewNamed(keys, *shards, *name, *seed)
+	} else {
+		st, err = scheme.Build(*name, keys, *seed)
+	}
 	if err != nil {
 		fatal(err)
-	}
-	var st contention.Structure
-	for _, s := range sts {
-		if s.Name() == *name {
-			st = s
-			break
-		}
-	}
-	if st == nil {
-		fatal(fmt.Errorf("unknown structure %q", *name))
 	}
 
 	var q dist.Dist

@@ -20,12 +20,14 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/memsim"
 	"repro/internal/rng"
+	"repro/internal/scheme"
 )
 
 func main() {
 	n := flag.Int("n", 8192, "number of stored keys")
 	procsFlag := flag.String("procs", "1,2,4,8,16,32,64,128,256", "processor counts")
 	modules := flag.Int("modules", 0, "memory modules (0 = one per cell)")
+	structures := flag.String("structures", "", "comma-separated registry names (default: the comparison roster)")
 	seed := flag.Uint64("seed", 20100613, "random seed")
 	flag.Parse()
 
@@ -38,8 +40,20 @@ func main() {
 		procs = append(procs, v)
 	}
 
+	names := experiments.ComparisonNames()
+	if *structures != "" {
+		names = nil
+		for _, name := range strings.Split(*structures, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := scheme.Lookup(name); !ok {
+				fatal(fmt.Errorf("unknown structure %q (registered: %s)",
+					name, strings.Join(scheme.Names(), ", ")))
+			}
+			names = append(names, name)
+		}
+	}
 	keys := experiments.Keys(*n, *seed)
-	sts, err := experiments.ComparisonSet(keys, *seed)
+	sts, err := experiments.BuildRoster(names, keys, *seed)
 	if err != nil {
 		fatal(err)
 	}

@@ -3,6 +3,7 @@ package lcds
 import (
 	"repro/internal/dynamic"
 	"repro/internal/rng"
+	"repro/internal/shard"
 )
 
 // DynamicDict is a mutable low-contention dictionary — the paper's §4
@@ -19,13 +20,19 @@ import (
 // writer mutex; the ε·n global rebuild runs in a background goroutine while
 // the old epoch stays readable, so readers never stall behind it.
 type DynamicDict struct {
-	inner *dynamic.Dict
-	src   rng.Source
+	inner   *dynamic.Dict      // unsharded (nil when sharded)
+	sharded *shard.DynamicDict // P-way composite (nil when unsharded)
+	src     rng.Source
 }
 
 // NewDynamic builds a dynamic dictionary over the initial keys. bufferFrac
 // is the paper-style ε ∈ (0, 1]: a global rebuild triggers after ε·n
 // buffered updates (pass 0 for the default 0.25).
+//
+// With WithShards(p ≥ 2), each of the p shards keeps its own update buffer,
+// epoch snapshot and background rebuild: an update storm concentrated on
+// one shard rebuilds ε·(n/p) keys on that shard alone while the other
+// shards' snapshots stay untouched.
 func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicDict, error) {
 	cfg := opterr{o: options{seed: 1}}
 	for _, opt := range opts {
@@ -34,10 +41,18 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 	if cfg.err != nil {
 		return nil, cfg.err
 	}
-	inner, err := dynamic.New(initial, dynamic.Params{
+	params := dynamic.Params{
 		Epsilon: bufferFrac,
 		Static:  cfg.o.params,
-	}, cfg.o.seed)
+	}
+	if cfg.o.shards > 1 {
+		sharded, err := shard.NewDynamic(initial, cfg.o.shards, params, cfg.o.seed)
+		if err != nil {
+			return nil, err
+		}
+		return &DynamicDict{sharded: sharded, src: cfg.o.querySource()}, nil
+	}
+	inner, err := dynamic.New(initial, params, cfg.o.seed)
 	if err != nil {
 		return nil, err
 	}
@@ -47,6 +62,9 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 // Contains reports membership of x. It acquires no lock and runs
 // concurrently with updates and rebuilds.
 func (d *DynamicDict) Contains(x uint64) (bool, error) {
+	if d.sharded != nil {
+		return d.sharded.Contains(x, d.src)
+	}
 	return d.inner.Contains(x, d.src)
 }
 
@@ -54,30 +72,56 @@ func (d *DynamicDict) Contains(x uint64) (bool, error) {
 // whole batch is answered against one epoch snapshot loaded once up front,
 // amortizing the epoch-pointer load and the query working memory across the
 // batch; updates published mid-batch are not observed. out must be at least
-// as long as keys.
+// as long as keys. On a sharded dictionary the batch is grouped by shard,
+// each group answered against a single snapshot of its own shard, the
+// groups on concurrent goroutines (a source supplied via WithQuerySource
+// must then be safe for concurrent use).
 func (d *DynamicDict) ContainsBatch(keys []uint64, out []bool) error {
+	if d.sharded != nil {
+		return d.sharded.ContainsBatchParallel(keys, out, d.src)
+	}
 	return d.inner.ContainsBatch(keys, out, d.src)
 }
 
 // Insert adds x; it reports whether the set changed.
 func (d *DynamicDict) Insert(x uint64) (bool, error) {
+	if d.sharded != nil {
+		return d.sharded.Insert(x)
+	}
 	return d.inner.Insert(x)
 }
 
 // Delete removes x; it reports whether the set changed.
 func (d *DynamicDict) Delete(x uint64) (bool, error) {
+	if d.sharded != nil {
+		return d.sharded.Delete(x)
+	}
 	return d.inner.Delete(x)
 }
 
 // Len returns the current number of keys without taking a lock.
 func (d *DynamicDict) Len() int {
+	if d.sharded != nil {
+		return d.sharded.Len()
+	}
 	return d.inner.Len()
 }
 
-// Rebuilds returns how many global rebuilds have occurred (≥ 1; the initial
-// construction counts as the first). A rebuild in flight is counted once it
-// publishes; call Quiesce first for a settled figure.
+// Shards returns the shard count: 1 unless WithShards(p ≥ 2) was used.
+func (d *DynamicDict) Shards() int {
+	if d.sharded != nil {
+		return d.sharded.Shards()
+	}
+	return 1
+}
+
+// Rebuilds returns how many rebuilds have occurred (≥ 1 per shard; each
+// shard's initial construction counts as its first). A rebuild in flight is
+// counted once it publishes; call Quiesce first for a settled figure.
 func (d *DynamicDict) Rebuilds() int {
+	if d.sharded != nil {
+		return d.sharded.Rebuilds()
+	}
 	return d.inner.Stats().Epoch
 }
 
@@ -85,5 +129,9 @@ func (d *DynamicDict) Rebuilds() int {
 // epoch. Useful before measuring or when deterministic rebuild counts
 // matter; normal operation never requires it.
 func (d *DynamicDict) Quiesce() {
+	if d.sharded != nil {
+		d.sharded.Quiesce()
+		return
+	}
 	d.inner.Quiesce()
 }

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/hash"
 	"repro/internal/rng"
+	"repro/internal/scheme"
 )
 
 const (
@@ -34,17 +35,11 @@ const (
 	occupiedTag = uint64(1)
 )
 
-// validateKeys rejects duplicates and out-of-universe keys, mirroring core.
+// validateKeys applies the shared key precondition with this package's
+// error prefix.
 func validateKeys(keys []uint64) error {
-	seen := make(map[uint64]bool, len(keys))
-	for _, k := range keys {
-		if k >= hash.MaxKey {
-			return fmt.Errorf("baseline: key %d outside universe [0, %d)", k, hash.MaxKey)
-		}
-		if seen[k] {
-			return fmt.Errorf("baseline: duplicate key %d", k)
-		}
-		seen[k] = true
+	if err := scheme.ValidateKeys(keys); err != nil {
+		return fmt.Errorf("baseline: %w", err)
 	}
 	return nil
 }

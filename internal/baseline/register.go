@@ -1,0 +1,58 @@
+package baseline
+
+import "repro/internal/scheme"
+
+// Every baseline registers itself under the name the experiment tables use.
+// The "+rep" variants store their hash parameters redundantly (§1.3); the
+// parameter choices (8 copies for bsearch+rep, 10 bits/key for bloom+rep)
+// are the ones every table in EXPERIMENTS.md reports.
+func init() {
+	reg := func(name string, approx bool, build scheme.Builder) {
+		scheme.Register(scheme.Info{Name: name, Approximate: approx, Build: build})
+	}
+	reg("fks", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildFKS(keys, false, seed))
+	})
+	reg("fks+rep", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildFKS(keys, true, seed))
+	})
+	reg("dm", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildDM(keys, seed))
+	})
+	reg("cuckoo", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildCuckoo(keys, false, seed))
+	})
+	reg("cuckoo+rep", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildCuckoo(keys, true, seed))
+	})
+	reg("bsearch", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildBinarySearch(keys, seed))
+	})
+	reg("linear", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildLinearProbing(keys, false, seed))
+	})
+	reg("linear+rep", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildLinearProbing(keys, true, seed))
+	})
+	reg("chained", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildChained(keys, false, seed))
+	})
+	reg("chained+rep", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildChained(keys, true, seed))
+	})
+	reg("bsearch+rep", false, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildReplicatedBinarySearch(keys, 8, seed))
+	})
+	reg("bloom+rep", true, func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+		return wrap(BuildBloom(keys, 10, true, seed))
+	})
+}
+
+// wrap converts a concrete (structure, error) pair to (Scheme, error)
+// without ever boxing a typed nil into the interface.
+func wrap[T scheme.Scheme](st T, err error) (scheme.Scheme, error) {
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}

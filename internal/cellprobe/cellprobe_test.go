@@ -349,3 +349,58 @@ func BenchmarkProbeRecorded(b *testing.B) {
 		tab.Probe(i&3, i&3, i&1023)
 	}
 }
+
+// TestForwardTo checks probe mirroring onto a parent table: recorder, trace
+// and chained forwarding all see the translated (step, cell) coordinates
+// while the probe reads the child's own cells.
+func TestForwardTo(t *testing.T) {
+	child := New(1, 4)
+	child.Set(0, 2, Cell{Lo: 7, Hi: 9})
+	parent := New(1, 10)
+	grand := New(1, 20)
+
+	prec := NewRecorder(parent.Size())
+	parent.Attach(prec)
+	var traced []int
+	parent.SetTrace(func(step, cell int) { traced = append(traced, step, cell) })
+	grec := NewRecorder(grand.Size())
+	grand.Attach(grec)
+
+	parent.ForwardTo(grand, 10, 1) // parent cell c → grand cell 10+c, step s → s+1
+	child.ForwardTo(parent, 6, 1)  // child cell c → parent cell 6+c, step s → s+1
+
+	c := child.Probe(0, 0, 2)
+	if c.Lo != 7 || c.Hi != 9 {
+		t.Fatalf("probe read %+v, want the child's own cell", c)
+	}
+	child.ProbeIndex(2, 3)
+
+	// Parent accounting: child (0,2) → (1,8); child (2,3) → (3,9).
+	if prec.Total[8] != 1 || prec.Total[9] != 1 {
+		t.Fatalf("parent totals %v", prec.Total)
+	}
+	if prec.PerStep[1][8] != 1 || prec.PerStep[3][9] != 1 {
+		t.Fatalf("parent per-step counts wrong: %v", prec.PerStep)
+	}
+	if len(traced) != 4 || traced[0] != 1 || traced[1] != 8 || traced[2] != 3 || traced[3] != 9 {
+		t.Fatalf("parent trace %v", traced)
+	}
+	// Chained forwarding: parent (1,8) → grand (2,18); (3,9) → (4,19).
+	if grec.Total[18] != 1 || grec.Total[19] != 1 {
+		t.Fatalf("grandparent totals %v", grec.Total)
+	}
+	if grec.PerStep[2][18] != 1 || grec.PerStep[4][19] != 1 {
+		t.Fatalf("grandparent per-step counts wrong: %v", grec.PerStep)
+	}
+	// The child's own accounting is untouched by forwarding.
+	if child.Recorder() != nil {
+		t.Fatal("forwarding attached a recorder to the child")
+	}
+
+	// Detaching the link stops the mirroring.
+	child.ForwardTo(nil, 0, 0)
+	child.Probe(0, 0, 1)
+	if prec.Total[7] != 0 {
+		t.Fatal("probe forwarded after ForwardTo(nil)")
+	}
+}

@@ -38,6 +38,30 @@ type Table struct {
 	block []blockRow // block[r].values non-nil for compact rows
 	rec   *Recorder
 	trace func(step, cell int)
+	fwd   *forward
+}
+
+// forward re-records this table's probes on a parent table's accounting at
+// translated coordinates — how a composite structure (internal/shard) makes
+// its sub-tables' probes visible to a recorder or trace attached to the
+// composite.
+type forward struct {
+	parent  *Table
+	cellOff int
+	stepOff int
+}
+
+func (f *forward) record(step, cell int) {
+	step, cell = step+f.stepOff, cell+f.cellOff
+	if f.parent.rec != nil {
+		f.parent.rec.record(step, cell)
+	}
+	if f.parent.trace != nil {
+		f.parent.trace(step, cell)
+	}
+	if f.parent.fwd != nil {
+		f.parent.fwd.record(step, cell)
+	}
 }
 
 // blockRow is a shared backing for a row whose content is constant on
@@ -167,6 +191,9 @@ func (t *Table) Probe(step, row, col int) Cell {
 	if t.trace != nil {
 		t.trace(step, i)
 	}
+	if t.fwd != nil {
+		t.fwd.record(step, i)
+	}
 	return t.read(row, col)
 }
 
@@ -181,7 +208,24 @@ func (t *Table) ProbeIndex(step, i int) Cell {
 	if t.trace != nil {
 		t.trace(step, i)
 	}
+	if t.fwd != nil {
+		t.fwd.record(step, i)
+	}
 	return t.read(i/t.width, i%t.width)
+}
+
+// ForwardTo mirrors every future Probe/ProbeIndex of t onto parent's
+// accounting (recorder, trace, and any further forwarding) at flat cell
+// index cellOffset + local index and step stepOffset + local step. The
+// probe still reads t's own cells; only the accounting is forwarded.
+// Pass a nil parent to remove the link. Like Attach/SetTrace, ForwardTo
+// must not race with probes.
+func (t *Table) ForwardTo(parent *Table, cellOffset, stepOffset int) {
+	if parent == nil {
+		t.fwd = nil
+		return
+	}
+	t.fwd = &forward{parent: parent, cellOff: cellOffset, stepOff: stepOffset}
 }
 
 // SetTrace installs a per-probe callback invoked with (step, flat cell

@@ -19,27 +19,13 @@ import (
 	"repro/internal/cellprobe"
 	"repro/internal/dist"
 	"repro/internal/rng"
+	"repro/internal/scheme"
 )
 
-// Structure is the common surface of every dictionary in this repository:
-// the low-contention dictionary (internal/core) and every baseline
-// (internal/baseline) satisfy it.
-type Structure interface {
-	// Name identifies the structure in reports.
-	Name() string
-	// N returns the number of stored keys.
-	N() int
-	// Table exposes the cell-probe table for probe recording.
-	Table() *cellprobe.Table
-	// MaxProbes bounds the number of probes any query makes.
-	MaxProbes() int
-	// Contains answers membership, reading only table cells via probes.
-	// The source supplies the replica choices; *rng.RNG and rng.Sharded
-	// both satisfy it.
-	Contains(x uint64, r rng.Source) (bool, error)
-	// ProbeSpec returns the exact per-step probe distribution for x.
-	ProbeSpec(x uint64) cellprobe.ProbeSpec
-}
+// Structure is the common surface of every dictionary in this repository,
+// now defined (and registered by name) in internal/scheme; the alias keeps
+// this package's historical vocabulary.
+type Structure = scheme.Scheme
 
 // ExactResult summarizes the exact contention of a structure under a query
 // distribution.

@@ -53,6 +53,7 @@ import (
 	"repro/internal/cellprobe"
 	"repro/internal/hash"
 	"repro/internal/rng"
+	"repro/internal/scheme"
 )
 
 // Sentinel fills unoccupied data cells. Occupied cells carry Hi = occupiedTag.
@@ -266,15 +267,8 @@ func Build(keys []uint64, p Params, seed uint64) (*Dict, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	seen := make(map[uint64]bool, len(keys))
-	for _, k := range keys {
-		if k >= hash.MaxKey {
-			return nil, fmt.Errorf("core: key %d outside universe [0, %d)", k, hash.MaxKey)
-		}
-		if seen[k] {
-			return nil, fmt.Errorf("core: duplicate key %d", k)
-		}
-		seen[k] = true
+	if err := scheme.ValidateKeys(keys); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	n := len(keys)

@@ -12,7 +12,7 @@ import (
 // probed, which replica was chosen, and what was learned. It is a debugging
 // and teaching aid; the answer and error semantics match Contains exactly.
 func (dict *Dict) Explain(x uint64, r rng.Source, w io.Writer) (bool, error) {
-	p := func(format string, args ...interface{}) {
+	p := func(format string, args ...any) {
 		fmt.Fprintf(w, format+"\n", args...)
 	}
 	p("query x = %d against n = %d keys (s = %d buckets, m = %d groups, d = %d)",

@@ -1,0 +1,19 @@
+package core
+
+import "repro/internal/scheme"
+
+// The low-contention dictionary registers itself under the name every
+// experiment table uses, with default Theorem-3 parameters; callers that
+// need non-default Params keep using Build directly.
+func init() {
+	scheme.Register(scheme.Info{
+		Name: "lcds",
+		Build: func(keys []uint64, seed uint64) (scheme.Scheme, error) {
+			d, err := Build(keys, Params{}, seed)
+			if err != nil {
+				return nil, err
+			}
+			return d, nil
+		},
+	})
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/rng"
+	"repro/internal/scheme"
 )
 
 // Slot tags in the buffer (the top bits of a packed slot word).
@@ -207,13 +208,10 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 	}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
 	d.cond = sync.NewCond(&d.mu)
+	if err := scheme.ValidateKeys(initial); err != nil {
+		return nil, fmt.Errorf("dynamic: %w", err)
+	}
 	for _, k := range initial {
-		if k >= hash.MaxKey {
-			return nil, fmt.Errorf("dynamic: key %d outside universe", k)
-		}
-		if d.members[k] {
-			return nil, fmt.Errorf("dynamic: duplicate key %d", k)
-		}
 		d.members[k] = true
 	}
 	d.n.Store(int64(len(d.members)))

@@ -13,11 +13,15 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"repro/internal/baseline"
 	"repro/internal/contention"
-	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/rng"
+	"repro/internal/scheme"
+
+	// Imported for their registry side effects: every structure the
+	// rosters name registers itself from these packages' init functions.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
 )
 
 // Table is a rendered experiment result.
@@ -93,6 +97,10 @@ type Config struct {
 	Queries int   // Monte-Carlo query count where sampling is used
 	Procs   []int // processor counts for F2
 	Trials  int   // repetition count for rate experiments (T4, T5)
+	// Structures, when non-empty, restricts roster-driven experiments to
+	// the named structures (registry names, see scheme.Names). Experiments
+	// that study a single structure (T1, T4, A-series) ignore it.
+	Structures []string
 }
 
 // Default returns the full-scale configuration used by the CLI and benches.
@@ -157,78 +165,82 @@ func Keys(n int, seed uint64) []uint64 {
 	return keys
 }
 
-// BuildAll constructs the full structure roster over one key set:
-// the low-contention dictionary plus every baseline.
-func BuildAll(keys []uint64, seed uint64) ([]contention.Structure, error) {
-	lc, err := core.Build(keys, core.Params{}, seed)
-	if err != nil {
-		return nil, fmt.Errorf("lcds: %w", err)
-	}
-	fks, err := baseline.BuildFKS(keys, false, seed)
-	if err != nil {
-		return nil, fmt.Errorf("fks: %w", err)
-	}
-	fksRep, err := baseline.BuildFKS(keys, true, seed)
-	if err != nil {
-		return nil, fmt.Errorf("fks+rep: %w", err)
-	}
-	dm, err := baseline.BuildDM(keys, seed)
-	if err != nil {
-		return nil, fmt.Errorf("dm: %w", err)
-	}
-	ck, err := baseline.BuildCuckoo(keys, false, seed)
-	if err != nil {
-		return nil, fmt.Errorf("cuckoo: %w", err)
-	}
-	ckRep, err := baseline.BuildCuckoo(keys, true, seed)
-	if err != nil {
-		return nil, fmt.Errorf("cuckoo+rep: %w", err)
-	}
-	bs, err := baseline.BuildBinarySearch(keys, seed)
-	if err != nil {
-		return nil, fmt.Errorf("bsearch: %w", err)
-	}
-	lp, err := baseline.BuildLinearProbing(keys, true, seed)
-	if err != nil {
-		return nil, fmt.Errorf("linear+rep: %w", err)
-	}
-	ch, err := baseline.BuildChained(keys, true, seed)
-	if err != nil {
-		return nil, fmt.Errorf("chained+rep: %w", err)
-	}
-	rbs, err := baseline.BuildReplicatedBinarySearch(keys, 8, seed)
-	if err != nil {
-		return nil, fmt.Errorf("bsearch+rep: %w", err)
-	}
-	bl, err := baseline.BuildBloom(keys, 10, true, seed)
-	if err != nil {
-		return nil, fmt.Errorf("bloom+rep: %w", err)
-	}
-	return []contention.Structure{lc, fks, fksRep, dm, ck, ckRep, bs, lp, ch, rbs, bl}, nil
+// RosterNames is the canonical full roster — the low-contention dictionary
+// plus every baseline — in the order the experiment tables list it. Every
+// name resolves through the scheme registry; cross-package init order is
+// why the order lives here rather than in the registry itself.
+func RosterNames() []string {
+	return []string{"lcds", "fks", "fks+rep", "dm", "cuckoo", "cuckoo+rep",
+		"bsearch", "linear+rep", "chained+rep", "bsearch+rep", "bloom+rep"}
 }
 
-// ComparisonSet is the replicated-parameter roster T2/F1/F2 focus on — the
-// §1.3 comparison where each baseline is given its best (redundant) storage.
-func ComparisonSet(keys []uint64, seed uint64) ([]contention.Structure, error) {
-	all, err := BuildAll(keys, seed)
-	if err != nil {
-		return nil, err
-	}
-	keep := map[string]bool{"lcds": true, "fks+rep": true, "dm": true, "cuckoo+rep": true, "bsearch": true, "linear+rep": true}
-	var out []contention.Structure
-	for _, st := range all {
-		if keep[st.Name()] {
-			out = append(out, st)
+// ComparisonNames is the replicated-parameter roster T2/F1/F2 focus on —
+// the §1.3 comparison where each baseline is given its best (redundant)
+// storage.
+func ComparisonNames() []string {
+	return []string{"lcds", "fks+rep", "dm", "cuckoo+rep", "bsearch", "linear+rep"}
+}
+
+// BuildRoster constructs the named structures over one key set, resolving
+// each through the scheme registry. Each build derives its randomness
+// independently from the same seed, so a filtered roster contains exactly
+// the structures the full roster would.
+func BuildRoster(names []string, keys []uint64, seed uint64) ([]contention.Structure, error) {
+	out := make([]contention.Structure, 0, len(names))
+	for _, name := range names {
+		st, err := scheme.Build(name, keys, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
+		out = append(out, st)
 	}
 	return out, nil
+}
+
+// BuildAll constructs the full structure roster over one key set.
+func BuildAll(keys []uint64, seed uint64) ([]contention.Structure, error) {
+	return BuildRoster(RosterNames(), keys, seed)
+}
+
+// ComparisonSet builds the ComparisonNames roster.
+func ComparisonSet(keys []uint64, seed uint64) ([]contention.Structure, error) {
+	return BuildRoster(ComparisonNames(), keys, seed)
+}
+
+// filterNames applies the Structures filter to a roster, preserving the
+// roster's order. An empty filter keeps everything.
+func (c Config) filterNames(names []string) []string {
+	if len(c.Structures) == 0 {
+		return names
+	}
+	keep := make(map[string]bool, len(c.Structures))
+	for _, n := range c.Structures {
+		keep[n] = true
+	}
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if keep[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// roster builds the (possibly filtered) full roster.
+func (c Config) roster(keys []uint64, seed uint64) ([]contention.Structure, error) {
+	return BuildRoster(c.filterNames(RosterNames()), keys, seed)
+}
+
+// comparison builds the (possibly filtered) comparison roster.
+func (c Config) comparison(keys []uint64, seed uint64) ([]contention.Structure, error) {
+	return BuildRoster(c.filterNames(ComparisonNames()), keys, seed)
 }
 
 // IDs lists every experiment identifier in order: the paper-claim
 // experiments T1–T5 and F1–F4, the future-work extension X1, and the
 // ablations A1–A3.
 func IDs() []string {
-	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "X1", "X2", "W1", "P1", "A1", "A2", "A3", "A4", "A5", "A6"}
+	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "X1", "X2", "W1", "P1", "A1", "A2", "A3", "A4", "A5", "A6", "A7"}
 }
 
 // Run executes one experiment by identifier.
@@ -275,6 +287,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return A5(cfg)
 	case "A6":
 		return A6(cfg)
+	case "A7":
+		return A7(cfg)
 	case "W1":
 		return W1(cfg)
 	case "P1":

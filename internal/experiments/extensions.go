@@ -178,7 +178,7 @@ func A3(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	procs := cfg.Procs[len(cfg.Procs)-1]
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +268,7 @@ func A5(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	procs := cfg.Procs[len(cfg.Procs)-1]
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +304,7 @@ func A5(cfg Config) (*Table, error) {
 func W1(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +377,7 @@ func T7(cfg Config) (*Table, error) {
 	t.Columns = append([]string{"n"}, names...)
 	for _, n := range cfg.Sizes {
 		keys := Keys(n, cfg.Seed+uint64(n))
-		sts, err := ComparisonSet(keys, cfg.Seed+uint64(n))
+		sts, err := cfg.comparison(keys, cfg.Seed+uint64(n))
 		if err != nil {
 			return nil, err
 		}

@@ -20,7 +20,7 @@ import (
 func F1(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +65,7 @@ func F1(cfg Config) (*Table, error) {
 func F2(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +105,7 @@ func F2(cfg Config) (*Table, error) {
 func F5(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,7 @@ import (
 func P1(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -70,11 +70,11 @@ func T2(cfg Config) (*Table, error) {
 			"ratios normalize by each structure's own cell count; structures with small tables (chained: 3n cells) read low here even when their hottest cell is hotter than lcds's in absolute Φ·n terms",
 		},
 	}
-	names := []string{"lcds", "fks+rep", "dm", "cuckoo+rep", "chained+rep", "bsearch", "bsearch+rep", "linear+rep", "fks", "cuckoo"}
+	names := cfg.filterNames([]string{"lcds", "fks+rep", "dm", "cuckoo+rep", "chained+rep", "bsearch", "bsearch+rep", "linear+rep", "fks", "cuckoo"})
 	t.Columns = append([]string{"n", "ln n/ln ln n", "sqrt n"}, names...)
 	for _, n := range cfg.Sizes {
 		keys := Keys(n, cfg.Seed+uint64(n))
-		sts, err := BuildAll(keys, cfg.Seed+uint64(n))
+		sts, err := BuildRoster(names, keys, cfg.Seed+uint64(n))
 		if err != nil {
 			return nil, err
 		}
@@ -113,11 +113,11 @@ func T6(cfg Config) (*Table, error) {
 			"bloom+rep is the approximate competitor: its hottest bit cell is shared by several members (balls-in-bins multiplicity), so even a Bloom filter does not reach lcds's exact 1.00",
 		},
 	}
-	names := []string{"lcds", "bloom+rep", "fks+rep", "dm", "cuckoo+rep", "chained+rep", "linear+rep", "bsearch", "bsearch+rep", "fks"}
+	names := cfg.filterNames([]string{"lcds", "bloom+rep", "fks+rep", "dm", "cuckoo+rep", "chained+rep", "linear+rep", "bsearch", "bsearch+rep", "fks"})
 	t.Columns = append([]string{"n"}, names...)
 	for _, n := range cfg.Sizes {
 		keys := Keys(n, cfg.Seed+uint64(n))
-		sts, err := BuildAll(keys, cfg.Seed+uint64(n))
+		sts, err := BuildRoster(names, keys, cfg.Seed+uint64(n))
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +145,7 @@ func T6(cfg Config) (*Table, error) {
 func T3(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	keys := Keys(n, cfg.Seed)
-	sts, err := ComparisonSet(keys, cfg.Seed)
+	sts, err := cfg.comparison(keys, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,161 @@
+// Conformance battery: every registered scheme inherits these checks just
+// by registering, so a new structure cannot join the roster without them.
+package scheme_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/rng"
+	"repro/internal/scheme"
+
+	// Populate the registry with every structure in the repository.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+)
+
+// testKeys generates n distinct universe keys.
+func testKeys(n int, seed uint64) []uint64 {
+	r := rng.New(seed)
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := r.Uint64n(hash.MaxKey)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestRegistryPopulated(t *testing.T) {
+	names := scheme.Names()
+	if len(names) < 12 {
+		t.Fatalf("registry has %d schemes (%v), want the full roster", len(names), names)
+	}
+	for _, want := range []string{"lcds", "fks+rep", "dm", "cuckoo+rep", "bsearch", "linear+rep", "bloom+rep"} {
+		if _, ok := scheme.Lookup(want); !ok {
+			t.Errorf("registry is missing %q", want)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration of lcds did not panic")
+		}
+	}()
+	scheme.Register(scheme.Info{
+		Name:  "lcds",
+		Build: func([]uint64, uint64) (scheme.Scheme, error) { return nil, nil },
+	})
+}
+
+func TestConformance(t *testing.T) {
+	const n, seed = 256, 42
+	keys := testKeys(n, seed)
+	members := make(map[uint64]bool, n)
+	for _, k := range keys {
+		members[k] = true
+	}
+	negatives := make([]uint64, 0, 200)
+	nr := rng.New(seed + 1)
+	for len(negatives) < 200 {
+		k := nr.Uint64n(hash.MaxKey)
+		if !members[k] {
+			negatives = append(negatives, k)
+		}
+	}
+
+	for _, info := range scheme.Infos() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			st, err := scheme.Build(info.Name, keys, seed)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if st.Name() != info.Name {
+				t.Errorf("Name() = %q, registered as %q", st.Name(), info.Name)
+			}
+			if st.N() != n {
+				t.Errorf("N() = %d, want %d", st.N(), n)
+			}
+			cells := st.Table().Size()
+			if cells < 1 {
+				t.Fatalf("table has %d cells", cells)
+			}
+			if st.MaxProbes() < 1 {
+				t.Fatalf("MaxProbes() = %d", st.MaxProbes())
+			}
+
+			// Probe specs: well-formed (spans in range, per-step mass ≤ 1)
+			// for members and non-members alike.
+			for _, x := range append(append([]uint64(nil), keys...), negatives...) {
+				spec := st.ProbeSpec(x)
+				if err := spec.Validate(cells); err != nil {
+					t.Fatalf("ProbeSpec(%d): %v", x, err)
+				}
+			}
+
+			// Positive queries answer true; every query stays within the
+			// probe budget.
+			probes := 0
+			st.Table().SetTrace(func(step, cell int) { probes++ })
+			qr := rng.New(seed + 2)
+			for _, k := range keys {
+				probes = 0
+				ok, err := st.Contains(k, qr)
+				if err != nil {
+					t.Fatalf("Contains(%d): %v", k, err)
+				}
+				if !ok {
+					t.Fatalf("member %d answered false", k)
+				}
+				if probes > st.MaxProbes() {
+					t.Fatalf("query for %d made %d probes, budget %d", k, probes, st.MaxProbes())
+				}
+			}
+			// Negative queries answer false — unless the scheme is
+			// registered as approximate (one-sided error).
+			falsePositives := 0
+			for _, k := range negatives {
+				ok, err := st.Contains(k, qr)
+				if err != nil {
+					t.Fatalf("Contains(%d): %v", k, err)
+				}
+				if ok {
+					falsePositives++
+				}
+			}
+			st.Table().SetTrace(nil)
+			if !info.Approximate && falsePositives > 0 {
+				t.Fatalf("exact scheme answered true for %d non-members", falsePositives)
+			}
+			if info.Approximate && falsePositives == len(negatives) {
+				t.Fatalf("approximate scheme answered true for every non-member")
+			}
+
+			// Seeded determinism: the same (keys, seed) pair reproduces the
+			// structure — identical probe specs and identical answers under
+			// an identical draw sequence.
+			st2, err := scheme.Build(info.Name, keys, seed)
+			if err != nil {
+				t.Fatalf("rebuild: %v", err)
+			}
+			for _, x := range append(keys[:8:8], negatives[:8]...) {
+				if !reflect.DeepEqual(st.ProbeSpec(x), st2.ProbeSpec(x)) {
+					t.Fatalf("ProbeSpec(%d) differs between identically seeded builds", x)
+				}
+				r1, r2 := rng.New(seed+3), rng.New(seed+3)
+				a1, err1 := st.Contains(x, r1)
+				a2, err2 := st2.Contains(x, r2)
+				if a1 != a2 || (err1 == nil) != (err2 == nil) {
+					t.Fatalf("Contains(%d) differs between identically seeded builds", x)
+				}
+			}
+		})
+	}
+}

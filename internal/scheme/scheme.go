@@ -1,0 +1,147 @@
+// Package scheme names the common surface of every membership structure in
+// the repository and keeps the registry that maps structure names to
+// builders.
+//
+// The Scheme interface is the contract the contention analyzer, the memory
+// simulator and the experiment harness program against: answer membership by
+// probing a cell-probe table, and describe the exact per-step probe
+// distribution of any query. The low-contention dictionary (internal/core),
+// every baseline (internal/baseline) and the sharded composite
+// (internal/shard) all satisfy it.
+//
+// Structures register themselves by name from init functions (see
+// core/register.go and baseline/register.go), so any package that imports
+// the implementations can enumerate and build the full roster through
+// Names/Build without a hand-written call chain. Registration carries
+// capability metadata — today just Approximate, which marks one-sided
+// membership error (Bloom filters) so generic conformance tests know not to
+// demand exact negative answers.
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cellprobe"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// Scheme is the common surface of every dictionary in this repository.
+type Scheme interface {
+	// Name identifies the structure in reports.
+	Name() string
+	// N returns the number of stored keys.
+	N() int
+	// Table exposes the cell-probe table for probe recording.
+	Table() *cellprobe.Table
+	// MaxProbes bounds the number of probes any query makes.
+	MaxProbes() int
+	// Contains answers membership, reading only table cells via probes.
+	// The source supplies the replica choices; *rng.RNG and rng.Sharded
+	// both satisfy it.
+	Contains(x uint64, r rng.Source) (bool, error)
+	// ProbeSpec returns the exact per-step probe distribution for x.
+	ProbeSpec(x uint64) cellprobe.ProbeSpec
+}
+
+// Builder constructs a structure over the given distinct keys with every
+// random choice derived from seed. Builders must treat the keys slice as
+// read-only and must not retain it.
+type Builder func(keys []uint64, seed uint64) (Scheme, error)
+
+// Info describes one registered structure.
+type Info struct {
+	// Name is the registry key, e.g. "lcds" or "cuckoo+rep".
+	Name string
+	// Approximate marks structures with one-sided membership error:
+	// Contains may answer true for absent keys (Bloom filters). Exact
+	// structures answer every query correctly.
+	Approximate bool
+	// Build constructs the structure.
+	Build Builder
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+)
+
+// Register adds a structure to the registry. It is intended to be called
+// from init functions and panics on a duplicate or incomplete registration —
+// both are programming errors.
+func Register(info Info) {
+	if info.Name == "" || info.Build == nil {
+		panic("scheme: Register needs a name and a builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("scheme: duplicate registration of %q", info.Name))
+	}
+	registry[info.Name] = info
+}
+
+// Lookup returns the registration for name.
+func Lookup(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names returns every registered name in sorted order. (Sorted, not
+// registration, order: cross-package init order follows import-path order,
+// which is meaningless to callers; the canonical experiment roster order
+// lives in internal/experiments.)
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infos returns every registration, sorted by name.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Build constructs the named structure, resolving the builder through the
+// registry.
+func Build(name string, keys []uint64, seed uint64) (Scheme, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scheme: unknown structure %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return info.Build(keys, seed)
+}
+
+// ValidateKeys rejects duplicate and out-of-universe keys — the shared
+// precondition of every builder. Callers wrap the error with their package
+// prefix.
+func ValidateKeys(keys []uint64) error {
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if k >= hash.MaxKey {
+			return fmt.Errorf("key %d outside universe [0, %d)", k, hash.MaxKey)
+		}
+		if seen[k] {
+			return fmt.Errorf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package scheme
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+func TestValidateKeys(t *testing.T) {
+	if err := ValidateKeys([]uint64{1, 2, 3}); err != nil {
+		t.Fatalf("valid keys rejected: %v", err)
+	}
+	if err := ValidateKeys(nil); err != nil {
+		t.Fatalf("empty key set rejected: %v", err)
+	}
+	if err := ValidateKeys([]uint64{1, 1}); err == nil {
+		t.Fatal("duplicate key accepted")
+	} else if !strings.Contains(err.Error(), "duplicate key 1") {
+		t.Fatalf("duplicate error %q lacks the key", err)
+	}
+	if err := ValidateKeys([]uint64{hash.MaxKey}); err == nil {
+		t.Fatal("out-of-universe key accepted")
+	} else if !strings.Contains(err.Error(), "outside universe") {
+		t.Fatalf("universe error %q lacks the reason", err)
+	}
+}
+
+func TestRegisterRejectsIncomplete(t *testing.T) {
+	for _, info := range []Info{
+		{},
+		{Name: "x"},
+		{Build: func([]uint64, uint64) (Scheme, error) { return nil, nil }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", info)
+				}
+			}()
+			Register(info)
+		}()
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	_, err := Build("no-such-structure", []uint64{1}, 1)
+	if err == nil {
+		t.Fatal("unknown structure built")
+	}
+	if !strings.Contains(err.Error(), "no-such-structure") {
+		t.Fatalf("error %q does not name the structure", err)
+	}
+}

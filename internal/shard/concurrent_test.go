@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// TestConcurrentShardedReadsAndWrites drives an update storm against a
+// sharded dynamic dictionary while reader goroutines issue single and
+// batched queries. Run under -race in CI: it exercises the per-shard epoch
+// publication, the batch fan-out goroutines and the shared rng.Sharded
+// source at once.
+func TestConcurrentShardedReadsAndWrites(t *testing.T) {
+	keys := testKeys(2048, 201)
+	d, err := NewDynamic(keys, 4, dynamic.Params{}, 203)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers  = 4
+		readers  = 4
+		batchers = 2
+		rounds   = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers+batchers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(300 + w))
+			for i := 0; i < rounds; i++ {
+				k := r.Uint64n(hash.MaxKey)
+				if _, err := d.Insert(k); err != nil {
+					errs <- err
+					return
+				}
+				if i%3 == 0 {
+					if _, err := d.Delete(k); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(400 + g))
+			for i := 0; i < rounds; i++ {
+				// The initial keys are never deleted by the writers (they
+				// only delete keys they themselves inserted this round), so
+				// membership of the seed set must hold throughout.
+				k := keys[r.Intn(len(keys))]
+				ok, err := d.Contains(k, r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					t.Errorf("seed key %d lost mid-storm", k)
+					return
+				}
+				_ = d.Len()
+			}
+		}(g)
+	}
+
+	for b := 0; b < batchers; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			src := rng.NewSharded(uint64(500+b), 0)
+			out := make([]bool, 256)
+			for i := 0; i < rounds/4; i++ {
+				batch := keys[(i*131)%(len(keys)-256):][:256]
+				if err := d.ContainsBatchParallel(batch, out, src); err != nil {
+					errs <- err
+					return
+				}
+				for j, ok := range out {
+					if !ok {
+						t.Errorf("batch lost seed key %d", batch[j])
+						return
+					}
+				}
+			}
+		}(b)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	d.Quiesce()
+	for _, k := range keys {
+		if ok, err := d.Contains(k, rng.New(1)); err != nil || !ok {
+			t.Fatalf("seed key %d missing after storm (err=%v)", k, err)
+		}
+	}
+}
+
+// TestConcurrentStaticBatch hammers the static composite's parallel batch
+// path from many goroutines sharing one sharded source; the static Dict is
+// immutable after New, so only the scratch pool and source are shared.
+func TestConcurrentStaticBatch(t *testing.T) {
+	keys := testKeys(2048, 211)
+	d, err := NewNamed(keys, 8, "lcds", 213)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewSharded(215, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]bool, 512)
+			for i := 0; i < 50; i++ {
+				batch := keys[((g*53+i)*97)%(len(keys)-512):][:512]
+				if err := d.ContainsBatchParallel(batch, out, src); err != nil {
+					t.Error(err)
+					return
+				}
+				for j, ok := range out {
+					if !ok {
+						t.Errorf("member %d answered false", batch[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,345 @@
+// Package shard scales any registered membership scheme out to P
+// independent sub-dictionaries behind a top-level pairwise hash, preserving
+// the cell-probe contention model exactly.
+//
+// The composite is itself a scheme.Scheme. A query probes one replica of
+// the routing row (the routing hash stored redundantly across as many cells
+// as the shards occupy, the paper's §1.3 replication trick — per-cell mass
+// 1/R with R = Σ_i s_i, a constant ratio to optimum), routes to shard
+// h(x) ∈ [P), and runs that shard's own query on its own cells. Because the
+// shards occupy disjoint cell ranges and the routing splits the query
+// distribution into per-shard conditional distributions, the composite's
+// exact contention is the routing mass plus the maximum of the shards' own
+// exact spectra — contention composes, which is the paper's point: Φ is a
+// per-cell probe mass, so hash partitioning is a model-preserving scale-out.
+// ComposeExact computes that composition analytically; the tests check it
+// is bit-identical to running contention.Exact on the composite.
+//
+// ProbeSpec places each shard's steps in a disjoint step range
+// (1 + Σ_{j<i} MaxProbes_j for shard i). Step placement is observationally
+// irrelevant — shards touch disjoint cells, so no (step, cell) pair ever
+// receives mass from two shards either way — but it keeps the per-step
+// difference arrays of contention.Exact confined to one shard's cell range
+// each, which is what makes the analytic composition reproduce the
+// composite's floats bit for bit instead of merely up to rounding.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cellprobe"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hash"
+	"repro/internal/rng"
+	"repro/internal/scheme"
+)
+
+// routeSalt decorrelates the routing hash draw from the shard builds.
+const routeSalt = 0x5ca1ab1e5ca1ab1e
+
+// subseed derives shard i's build seed. Shard 0 keeps the caller's seed, so
+// a 1-way composite builds the identical inner structure the unsharded
+// builder would.
+func subseed(seed uint64, i int) uint64 {
+	return seed ^ (uint64(i) * 0x9e3779b97f4a7c15)
+}
+
+// Dict is a static P-way sharded composite dictionary.
+type Dict struct {
+	name    string
+	shards  []scheme.Scheme
+	cellOff []int // flat composite offset of each shard's cells
+	stepOff []int // first composite probe step of each shard
+	route   hash.Pairwise
+	routeW  int // routing replicas (= total inner cells)
+	acct    *cellprobe.Table
+	n       int
+	probes  int // 1 + max over shards of MaxProbes
+	scratch sync.Pool
+}
+
+// New builds a P-way composite over the given keys, constructing every
+// shard with the supplied builder. shards must be ≥ 1; the builder must
+// accept an empty key slice (a shard may receive no keys).
+func New(keys []uint64, shards int, build scheme.Builder, seed uint64) (*Dict, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be ≥ 1", shards)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("shard: nil builder")
+	}
+	if err := scheme.ValidateKeys(keys); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	route := hash.NewPairwise(rng.New(seed^routeSalt), uint64(shards))
+	parts := make([][]uint64, shards)
+	for _, k := range keys {
+		i := int(route.Eval(k))
+		parts[i] = append(parts[i], k)
+	}
+	d := &Dict{
+		shards:  make([]scheme.Scheme, shards),
+		cellOff: make([]int, shards),
+		stepOff: make([]int, shards),
+		route:   route,
+		n:       len(keys),
+	}
+	d.scratch.New = func() any { return new(core.QueryScratch) }
+	total, steps, maxP := 0, 1, 0
+	for i, part := range parts {
+		st, err := build(part, subseed(seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", i, shards, err)
+		}
+		d.shards[i] = st
+		d.stepOff[i] = steps
+		steps += st.MaxProbes()
+		total += st.Table().Size()
+		if st.MaxProbes() > maxP {
+			maxP = st.MaxProbes()
+		}
+	}
+	d.routeW = total
+	d.probes = 1 + maxP
+	d.name = fmt.Sprintf("%s×%d", d.shards[0].Name(), shards)
+	// The composite's accounting table: one row of routeW routing replicas
+	// followed by the shards' cell ranges. The routing hash is stored
+	// block-compactly (one value backing the whole row); the shard ranges
+	// belong to the inner tables, whose probes are forwarded here.
+	d.acct = cellprobe.New(1, d.routeW+total)
+	d.acct.SetBlockRow(0, []cellprobe.Cell{{Lo: route.A, Hi: route.B}}, d.routeW+total)
+	off := d.routeW
+	for i, st := range d.shards {
+		d.cellOff[i] = off
+		st.Table().ForwardTo(d.acct, off, 1)
+		off += st.Table().Size()
+	}
+	return d, nil
+}
+
+// NewNamed builds a P-way composite whose shards are the named registered
+// scheme.
+func NewNamed(keys []uint64, shards int, inner string, seed uint64) (*Dict, error) {
+	info, ok := scheme.Lookup(inner)
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown inner scheme %q", inner)
+	}
+	return New(keys, shards, info.Build, seed)
+}
+
+// Name identifies the composite, e.g. "lcds×8".
+func (d *Dict) Name() string { return d.name }
+
+// N returns the number of stored keys across all shards.
+func (d *Dict) N() int { return d.n }
+
+// Table returns the composite accounting table. Probes against any shard's
+// own table are forwarded here, so recorders and traces attached to it see
+// the full composite probe stream (routing probes at step 0, shard probes
+// from step 1, at composite cell indices).
+func (d *Dict) Table() *cellprobe.Table { return d.acct }
+
+// MaxProbes bounds the probes of any single query: one routing probe plus
+// the worst shard's bound.
+func (d *Dict) MaxProbes() int { return d.probes }
+
+// Shards returns the shard count P.
+func (d *Dict) Shards() int { return len(d.shards) }
+
+// Shard returns the i-th sub-dictionary.
+func (d *Dict) Shard(i int) scheme.Scheme { return d.shards[i] }
+
+// ShardOf returns the shard index the routing hash assigns to x.
+func (d *Dict) ShardOf(x uint64) int { return int(d.route.Eval(x)) }
+
+// CellOffset returns the flat composite index of shard i's first cell.
+func (d *Dict) CellOffset(i int) int { return d.cellOff[i] }
+
+// RouteWidth returns the number of routing replicas R.
+func (d *Dict) RouteWidth() int { return d.routeW }
+
+// routeProbe reads one uniformly chosen routing replica (step 0) and
+// returns the shard index it directs x to.
+func (d *Dict) routeProbe(x uint64, r rng.Source) int {
+	c := d.acct.Probe(0, 0, r.Intn(d.routeW))
+	h := hash.Pairwise{A: c.Lo, B: c.Hi, M: uint64(len(d.shards))}
+	return int(h.Eval(x))
+}
+
+// Contains answers membership: one routing probe, then the owning shard's
+// own query.
+func (d *Dict) Contains(x uint64, r rng.Source) (bool, error) {
+	return d.containsShard(d.routeProbe(x, r), x, r)
+}
+
+// containsShard runs shard i's query, using pooled scratch on the
+// low-contention dictionary's zero-allocation path.
+func (d *Dict) containsShard(i int, x uint64, r rng.Source) (bool, error) {
+	if cd, ok := d.shards[i].(*core.Dict); ok {
+		sc := d.scratch.Get().(*core.QueryScratch)
+		ok2, err := cd.ContainsScratch(x, r, sc)
+		d.scratch.Put(sc)
+		return ok2, err
+	}
+	return d.shards[i].Contains(x, r)
+}
+
+// group is one shard's slice of a batch.
+type group struct {
+	keys []uint64
+	idx  []int
+}
+
+// groupBatch routes every key (consuming one routing probe per key, exactly
+// as Contains would) and groups the batch by shard.
+func (d *Dict) groupBatch(keys []uint64, r rng.Source) []group {
+	groups := make([]group, len(d.shards))
+	for i, k := range keys {
+		g := d.routeProbe(k, r)
+		groups[g].keys = append(groups[g].keys, k)
+		groups[g].idx = append(groups[g].idx, i)
+	}
+	return groups
+}
+
+// answerGroup answers one shard's group, batching through the inner
+// dictionary's own batch path when it has one.
+func (d *Dict) answerGroup(shard int, g group, out []bool, r rng.Source) error {
+	if len(g.keys) == 0 {
+		return nil
+	}
+	if cd, ok := d.shards[shard].(*core.Dict); ok {
+		sc := d.scratch.Get().(*core.QueryScratch)
+		defer d.scratch.Put(sc)
+		ans := make([]bool, len(g.keys))
+		if err := cd.ContainsBatch(g.keys, ans, r, sc); err != nil {
+			return err
+		}
+		for j, i := range g.idx {
+			out[i] = ans[j]
+		}
+		return nil
+	}
+	for j, k := range g.keys {
+		ok, err := d.shards[shard].Contains(k, r)
+		if err != nil {
+			return err
+		}
+		out[g.idx[j]] = ok
+	}
+	return nil
+}
+
+// ContainsBatch answers membership for every keys[i] into out[i],
+// sequentially: the batch is routed up front, grouped by shard, and each
+// group answered in shard order against that shard's batch path. out must
+// be at least as long as keys.
+func (d *Dict) ContainsBatch(keys []uint64, out []bool, r rng.Source) error {
+	for shard, g := range d.groupBatch(keys, r) {
+		if err := d.answerGroup(shard, g, out, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContainsBatchParallel is ContainsBatch with the per-shard groups answered
+// by concurrent goroutines — the scale-out read path sharding exists for.
+// The source must be safe for concurrent use (rng.Sharded is; an *rng.RNG
+// is not) whenever the batch spans more than one shard.
+func (d *Dict) ContainsBatchParallel(keys []uint64, out []bool, r rng.Source) error {
+	groups := d.groupBatch(keys, r)
+	busy := 0
+	for _, g := range groups {
+		if len(g.keys) > 0 {
+			busy++
+		}
+	}
+	if busy <= 1 {
+		for shard, g := range groups {
+			if err := d.answerGroup(shard, g, out, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for shard, g := range groups {
+		if len(g.keys) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard int, g group) {
+			defer wg.Done()
+			errs[shard] = d.answerGroup(shard, g, out, r)
+		}(shard, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProbeSpec returns the exact composite probe distribution for x: the
+// uniform routing span at step 0, then the owning shard's own spec with
+// cells offset into its range and steps offset into its disjoint step
+// window.
+func (d *Dict) ProbeSpec(x uint64) cellprobe.ProbeSpec {
+	i := d.ShardOf(x)
+	inner := d.shards[i].ProbeSpec(x)
+	spec := make(cellprobe.ProbeSpec, d.stepOff[i], d.stepOff[i]+len(inner))
+	spec[0] = cellprobe.UniformSpan(0, d.routeW, 1)
+	for _, step := range inner {
+		shifted := make(cellprobe.StepSpec, len(step))
+		for k, sp := range step {
+			sp.Start += d.cellOff[i]
+			shifted[k] = sp
+		}
+		spec = append(spec, shifted)
+	}
+	return spec
+}
+
+// ComposeExact computes the composite's exact contention analytically from
+// its parts: the routing step's per-cell mass plus, for each shard, the
+// exact spectrum of that shard alone under the conditional support the
+// routing sends it. It returns max_{t,j} Φ_t(j), the quantity whose product
+// with the cell count is the headline RatioStep. Because the composite's
+// steps are shard-disjoint, the result is bit-identical to
+// contention.Exact(d, support).MaxStep — composition is exact in the model
+// and in float64.
+func (d *Dict) ComposeExact(support []dist.Weighted) (float64, error) {
+	// Routing step: every query probes one of routeW replicas uniformly.
+	// Same float operations, in the same support order, as the exact
+	// analyzer's difference array for step 0.
+	max := 0.0
+	for _, w := range support {
+		pc := cellprobe.Span{Start: 0, Count: d.routeW, Mass: 1}.PerCell() * w.P
+		max += pc
+	}
+	subs := make([][]dist.Weighted, len(d.shards))
+	for _, w := range support {
+		i := d.ShardOf(w.Key)
+		subs[i] = append(subs[i], w)
+	}
+	for i, sub := range subs {
+		if len(sub) == 0 {
+			continue
+		}
+		res, err := contention.Exact(d.shards[i], sub)
+		if err != nil {
+			return 0, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if res.MaxStep > max {
+			max = res.MaxStep
+		}
+	}
+	return max, nil
+}

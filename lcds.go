@@ -31,6 +31,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/hash"
 	"repro/internal/rng"
+	"repro/internal/scheme"
+	"repro/internal/shard"
 )
 
 // MaxKey is the exclusive upper bound of the key universe.
@@ -42,9 +44,10 @@ const MaxKey = hash.MaxKey
 // write no shared cache line — the machine-level analogue of the paper's
 // O(1/s) per-cell guarantee.
 type Dict struct {
-	inner *core.Dict
-	seed  uint64
-	src   rng.Source
+	inner   *core.Dict  // unsharded dictionary (nil when sharded)
+	sharded *shard.Dict // P-way composite (nil when unsharded)
+	seed    uint64
+	src     rng.Source
 	// scratch pools per-query working memory (coefficient buffers,
 	// histogram words) so the steady-state read path allocates nothing.
 	scratch sync.Pool
@@ -55,6 +58,15 @@ func newDict(inner *core.Dict, seed uint64, src rng.Source) *Dict {
 	d := &Dict{inner: inner, seed: seed, src: src}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
 	return d
+}
+
+// structure returns the scheme the dictionary queries — the core structure
+// or the sharded composite.
+func (d *Dict) structure() scheme.Scheme {
+	if d.sharded != nil {
+		return d.sharded
+	}
+	return d.inner
 }
 
 // QuerySource is the stream of uniform draws a query consumes for its
@@ -69,6 +81,7 @@ type options struct {
 	seed   uint64
 	src    rng.Source
 	params core.Params
+	shards int
 }
 
 // Option configures New.
@@ -155,6 +168,28 @@ func WithCompact() Option {
 	return func(c *opterr) { c.o.params.Compact = true }
 }
 
+// WithShards hash-partitions the dictionary over p independent
+// sub-dictionaries behind a replicated routing row (internal/shard). Reads
+// stay low-contention — the composite's exact contention is the analytic
+// composition of its shards' (experiment A7) — while batch queries fan out
+// over the shards and, for dynamic dictionaries, each shard rebuilds
+// independently. p = 1 is the unsharded structure itself: it builds the
+// identical dictionary New without the option builds, answer for answer and
+// probe for probe.
+//
+// ContainsBatch on a sharded dictionary answers per-shard groups on
+// concurrent goroutines, so a source supplied via WithQuerySource must then
+// be safe for concurrent use (the default source is; an *rng.RNG is not).
+func WithShards(p int) Option {
+	return func(c *opterr) {
+		if p < 1 {
+			c.err = fmt.Errorf("lcds: shard count %d must be ≥ 1", p)
+			return
+		}
+		c.o.shards = p
+	}
+}
+
 // New builds a dictionary over the given distinct keys (each < MaxKey).
 // Construction takes expected O(n) time; the keys slice is not retained.
 func New(keys []uint64, opts ...Option) (*Dict, error) {
@@ -164,6 +199,20 @@ func New(keys []uint64, opts ...Option) (*Dict, error) {
 	}
 	if cfg.err != nil {
 		return nil, cfg.err
+	}
+	if cfg.o.shards > 1 {
+		params := cfg.o.params
+		sharded, err := shard.New(keys, cfg.o.shards, func(part []uint64, seed uint64) (scheme.Scheme, error) {
+			inner, err := core.Build(part, params, seed)
+			if err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}, cfg.o.seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Dict{sharded: sharded, seed: cfg.o.seed, src: cfg.o.querySource()}, nil
 	}
 	inner, err := core.Build(keys, cfg.o.params, cfg.o.seed)
 	if err != nil {
@@ -198,6 +247,9 @@ func (d *Dict) Contains(x uint64) bool {
 // performs no steady-state heap allocation (query working memory comes from
 // an internal pool).
 func (d *Dict) Lookup(x uint64) (bool, error) {
+	if d.sharded != nil {
+		return d.sharded.Contains(x, d.src)
+	}
 	sc := d.scratch.Get().(*core.QueryScratch)
 	ok, err := d.inner.ContainsScratch(x, d.src, sc)
 	d.scratch.Put(sc)
@@ -208,27 +260,42 @@ func (d *Dict) Lookup(x uint64) (bool, error) {
 // one pooled scratch across the whole batch — the cheapest way to issue
 // many queries from one goroutine. out must be at least as long as keys.
 // It stops at the first corrupt-table error; on a well-formed table it
-// never errors.
+// never errors. On a sharded dictionary the batch is grouped by shard and
+// the groups are answered concurrently (see WithShards).
 func (d *Dict) ContainsBatch(keys []uint64, out []bool) error {
+	if d.sharded != nil {
+		return d.sharded.ContainsBatchParallel(keys, out, d.src)
+	}
 	sc := d.scratch.Get().(*core.QueryScratch)
 	defer d.scratch.Put(sc)
 	return d.inner.ContainsBatch(keys, out, d.src, sc)
 }
 
 // Len returns the number of stored keys.
-func (d *Dict) Len() int { return d.inner.N() }
+func (d *Dict) Len() int { return d.structure().N() }
 
 // SpaceCells returns the total number of 128-bit cells the table occupies.
-func (d *Dict) SpaceCells() int { return d.inner.Table().Size() }
+func (d *Dict) SpaceCells() int { return d.structure().Table().Size() }
 
 // MaxProbes returns the worst-case number of cell probes per query.
-func (d *Dict) MaxProbes() int { return d.inner.MaxProbes() }
+func (d *Dict) MaxProbes() int { return d.structure().MaxProbes() }
 
-// Stats describes what construction did.
+// Shards returns the shard count: 1 unless WithShards(p ≥ 2) was used.
+func (d *Dict) Shards() int {
+	if d.sharded != nil {
+		return d.sharded.Shards()
+	}
+	return 1
+}
+
+// Stats describes what construction did. For a sharded dictionary the
+// counts are summed over the shards (MaxBucketLoad and SlackC take the
+// worst shard) and Cells is the composite table size, routing row included.
 type Stats struct {
 	N             int     // stored keys
 	Cells         int     // table cells (128-bit words)
 	Rows          int     // table rows (each of width s)
+	Shards        int     // sub-dictionaries (1 unless WithShards)
 	Buckets       int     // the paper's s
 	Groups        int     // the paper's m
 	HashTries     int     // (f,g,z) draws until property P(S) held
@@ -239,9 +306,31 @@ type Stats struct {
 
 // Stats returns construction statistics.
 func (d *Dict) Stats() Stats {
+	if d.sharded != nil {
+		out := Stats{
+			N:      d.sharded.N(),
+			Cells:  d.sharded.Table().Size(),
+			Shards: d.sharded.Shards(),
+		}
+		for i := 0; i < d.sharded.Shards(); i++ {
+			r := d.sharded.Shard(i).(*core.Dict).Report()
+			out.Rows += r.Rows
+			out.Buckets += r.S
+			out.Groups += r.M
+			out.HashTries += r.HashTries
+			out.Escalations += r.Escalations
+			if r.MaxBucketLoad > out.MaxBucketLoad {
+				out.MaxBucketLoad = r.MaxBucketLoad
+			}
+			if r.FinalC > out.SlackC {
+				out.SlackC = r.FinalC
+			}
+		}
+		return out
+	}
 	r := d.inner.Report()
 	return Stats{
-		N: r.N, Cells: r.Cells, Rows: r.Rows, Buckets: r.S, Groups: r.M,
+		N: r.N, Cells: r.Cells, Rows: r.Rows, Shards: 1, Buckets: r.S, Groups: r.M,
 		HashTries: r.HashTries, Escalations: r.Escalations,
 		MaxBucketLoad: r.MaxBucketLoad, SlackC: r.FinalC,
 	}
@@ -265,13 +354,24 @@ type Contention struct {
 // Useful for understanding the four-phase query algorithm. Explain
 // installs a table trace and must not run concurrently with queries.
 func (d *Dict) Explain(x uint64, w io.Writer) (bool, error) {
+	if d.sharded != nil {
+		i := d.sharded.ShardOf(x)
+		fmt.Fprintf(w, "route: x = %d → shard %d of %d (one probe of the %d-replica routing row)\n",
+			x, i, d.sharded.Shards(), d.sharded.RouteWidth())
+		return d.sharded.Shard(i).(*core.Dict).Explain(x, d.src, w)
+	}
 	return d.inner.Explain(x, d.src, w)
 }
 
 // WriteTo serializes the dictionary in a compact format (the construction
 // state, ≈ 3 words per key, rather than the full table). It implements
-// io.WriterTo.
-func (d *Dict) WriteTo(w io.Writer) (int64, error) { return d.inner.WriteTo(w) }
+// io.WriterTo. Sharded dictionaries do not support serialization.
+func (d *Dict) WriteTo(w io.Writer) (int64, error) {
+	if d.sharded != nil {
+		return 0, fmt.Errorf("lcds: sharded dictionaries do not support serialization")
+	}
+	return d.inner.WriteTo(w)
+}
 
 // Read deserializes a dictionary written by WriteTo, reconstructing and
 // verifying its table. The query seed of the returned dictionary defaults
@@ -301,7 +401,7 @@ func (d *Dict) ContentionSummary(keys []uint64) (Contention, error) {
 		return Contention{}, fmt.Errorf("lcds: contention summary needs a non-empty key set")
 	}
 	q := dist.NewUniformSet(keys, "")
-	res, err := contention.Exact(d.inner, q.Support())
+	res, err := contention.Exact(d.structure(), q.Support())
 	if err != nil {
 		return Contention{}, err
 	}

@@ -37,6 +37,13 @@ func TestContainsZeroAlloc(t *testing.T) {
 		t.Fatalf("core ContainsScratch: %v allocs/op, want 0", allocs)
 	}
 
+	if raceEnabled {
+		// sync.Pool drops Puts at random under the race detector, so the
+		// pooled facade paths allocate there by design; the core path above
+		// already proved the query itself is allocation-free.
+		t.Skip("pooled paths are not allocation-free under the race detector")
+	}
+
 	gc := debug.SetGCPercent(-1)
 	defer debug.SetGCPercent(gc)
 

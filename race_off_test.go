@@ -1,0 +1,5 @@
+//go:build !race
+
+package lcds
+
+const raceEnabled = false

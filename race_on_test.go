@@ -1,0 +1,8 @@
+//go:build race
+
+package lcds
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool deliberately drops items at random under the detector, so the
+// pooled facade paths cannot be allocation-free there.
+const raceEnabled = true
