@@ -113,6 +113,9 @@ func BenchmarkTableA6(b *testing.B) { benchExperiment(b, "A6") }
 // BenchmarkTableA7 regenerates A7 — sharded contention composition.
 func BenchmarkTableA7(b *testing.B) { benchExperiment(b, "A7") }
 
+// BenchmarkTableA8 regenerates A8 — live telemetry vs exact analysis.
+func BenchmarkTableA8(b *testing.B) { benchExperiment(b, "A8") }
+
 // BenchmarkTableT7 regenerates T7 — uniform-negative query sweep.
 func BenchmarkTableT7(b *testing.B) { benchExperiment(b, "T7") }
 
@@ -248,6 +251,42 @@ func BenchmarkPublicContains(b *testing.B) {
 			b.Fatal("lost key")
 		}
 	}
+}
+
+// benchContainsTelemetry is the shared body of the telemetry-overhead
+// benchmark pair: the single-key facade path with the given extra options.
+func benchContainsTelemetry(b *testing.B, extra ...Option) {
+	b.Helper()
+	keys := benchKeys(b)
+	d, err := New(keys, append([]Option{WithSeed(3)}, extra...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Contains(keys[i%len(keys)]) {
+			b.Fatal("lost key")
+		}
+	}
+}
+
+// BenchmarkContainsTelemetryOff guards the telemetry-off overhead contract:
+// no sink is installed, so this must track BenchmarkPublicContains within
+// noise (< 3% vs the committed BENCH_*.json baseline) at 0 allocs/op.
+func BenchmarkContainsTelemetryOff(b *testing.B) { benchContainsTelemetry(b) }
+
+// BenchmarkContainsTelemetryOn measures the worst-case telemetry cost:
+// every probe counted (sampling 1) on the striped per-cell and per-step
+// vectors, plus latency/outcome accounting per query.
+func BenchmarkContainsTelemetryOn(b *testing.B) {
+	benchContainsTelemetry(b, WithTelemetry(TelemetryConfig{Sample: 1}))
+}
+
+// BenchmarkContainsTelemetrySampled measures the 1-in-64 sampling point —
+// the configuration meant for always-on production telemetry.
+func BenchmarkContainsTelemetrySampled(b *testing.B) {
+	benchContainsTelemetry(b, WithTelemetry(TelemetryConfig{Sample: 64}))
 }
 
 // BenchmarkBuild measures construction throughput at the bench size.

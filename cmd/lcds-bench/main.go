@@ -42,6 +42,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run independent experiments concurrently (output order is preserved)")
 	jsonMode := flag.Bool("json", false, "run the micro-perf suite and write BENCH_<date>.json")
 	jsonOut := flag.String("out", "", "output path for -json (default BENCH_<date>.json in the working directory)")
+	telemetrySample := flag.Int("telemetry", 0, "with -json, also measure the query path under live telemetry at this sampling rate (0 = skip)")
 	flag.Parse()
 
 	if *jsonMode {
@@ -49,7 +50,7 @@ func main() {
 		if n == 0 {
 			n = 32768
 		}
-		if err := runPerfSuite(n, *seed, *jsonOut); err != nil {
+		if err := runPerfSuite(n, *seed, *jsonOut, *telemetrySample); err != nil {
 			fatal(err)
 		}
 		return

@@ -36,6 +36,16 @@ type perfReport struct {
 	ContainsAllocsPerOp  float64 `json:"contains_allocs_per_op"`
 	BatchContainsNsPerOp float64 `json:"batch_contains_ns_per_op"`
 
+	// Telemetry overhead, measured only when -telemetry k is given: the
+	// same Contains loop against a dictionary built with
+	// WithTelemetry(Sample: k), and its ratio to the uninstrumented number.
+	TelemetrySample          int     `json:"telemetry_sample,omitempty"`
+	ContainsTelemetryNsPerOp float64 `json:"contains_telemetry_ns_per_op,omitempty"`
+	ContainsTelemetryAllocs  float64 `json:"contains_telemetry_allocs_per_op,omitempty"`
+	TelemetryOverheadRatio   float64 `json:"telemetry_overhead_ratio,omitempty"`
+	TelemetryMaxPhiN         float64 `json:"telemetry_max_phi_n,omitempty"`
+	TelemetryProbesPerQuery  float64 `json:"telemetry_probes_per_query,omitempty"`
+
 	ExactSerialMs   float64 `json:"exact_contention_serial_ms"`
 	ExactParallelMs float64 `json:"exact_contention_parallel_ms"`
 	ExactSpeedup    float64 `json:"exact_contention_speedup"`
@@ -44,8 +54,10 @@ type perfReport struct {
 }
 
 // runPerfSuite measures the perf-critical paths at key count n and writes
-// the JSON record. seed 0 selects the default seed 1.
-func runPerfSuite(n int, seed uint64, outPath string) error {
+// the JSON record. seed 0 selects the default seed 1. telemetrySample > 0
+// additionally measures the query path with live telemetry at that
+// sampling rate, so the record tracks the instrumentation overhead.
+func runPerfSuite(n int, seed uint64, outPath string, telemetrySample int) error {
 	if seed == 0 {
 		seed = 1
 	}
@@ -97,6 +109,33 @@ func runPerfSuite(n int, seed uint64, outPath string) error {
 		d.Contains(keys[0])
 	})
 	debug.SetGCPercent(gc)
+
+	if telemetrySample > 0 {
+		rep.TelemetrySample = telemetrySample
+		dt, err := lcds.New(keys, lcds.WithSeed(seed),
+			lcds.WithTelemetry(lcds.TelemetryConfig{Sample: telemetrySample}))
+		if err != nil {
+			return err
+		}
+		start = time.Now()
+		for i := 0; i < queryOps; i++ {
+			if !dt.Contains(keys[i%n]) {
+				return fmt.Errorf("lost key %d under telemetry", keys[i%n])
+			}
+		}
+		rep.ContainsTelemetryNsPerOp = float64(time.Since(start).Nanoseconds()) / queryOps
+		gc = debug.SetGCPercent(-1)
+		rep.ContainsTelemetryAllocs = testing.AllocsPerRun(1000, func() {
+			dt.Contains(keys[0])
+		})
+		debug.SetGCPercent(gc)
+		if rep.ContainsNsPerOp > 0 {
+			rep.TelemetryOverheadRatio = rep.ContainsTelemetryNsPerOp / rep.ContainsNsPerOp
+		}
+		snap := dt.Telemetry().Snapshot()
+		rep.TelemetryMaxPhiN = snap.MaxPhiN
+		rep.TelemetryProbesPerQuery = snap.ProbesPerQuery
+	}
 
 	const batch = 1024
 	out := make([]bool, batch)
@@ -161,6 +200,11 @@ func runPerfSuite(n int, seed uint64, outPath string) error {
 	fmt.Printf("n=%d build %.1fms (parallel %.1fms), contains %.0fns/op %.2g allocs/op, batch %.0fns/op, exact %0.fms -> %.0fms (%.2fx on %d workers, GOMAXPROCS=%d)\n",
 		n, rep.BuildMs, rep.BuildParallelMs, rep.ContainsNsPerOp, rep.ContainsAllocsPerOp,
 		rep.BatchContainsNsPerOp, rep.ExactSerialMs, rep.ExactParallelMs, rep.ExactSpeedup, exactWorkers, workers)
+	if telemetrySample > 0 {
+		fmt.Printf("telemetry sample=%d: contains %.0fns/op (%.2fx overhead) %.2g allocs/op, maxPhi*n=%.3f, probes/query=%.3f\n",
+			telemetrySample, rep.ContainsTelemetryNsPerOp, rep.TelemetryOverheadRatio,
+			rep.ContainsTelemetryAllocs, rep.TelemetryMaxPhiN, rep.TelemetryProbesPerQuery)
+	}
 	return nil
 }
 

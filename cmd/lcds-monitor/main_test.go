@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	lcds "repro"
+)
+
+func newTestServer(t *testing.T, n int, opts ...lcds.Option) *server {
+	t.Helper()
+	keys := genKeys(n, 7)
+	opts = append([]lcds.Option{lcds.WithSeed(7),
+		lcds.WithTelemetry(lcds.TelemetryConfig{TraceEvery: 64, TopK: 4})}, opts...)
+	d, err := lcds.New(keys, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{d: d, static: d, keys: keys}
+	for _, k := range keys {
+		if !d.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	return s
+}
+
+// TestMetricsExposition checks the /metrics body carries every name in the
+// RequiredMetrics contract and parses as Prometheus text: each sample line
+// is `name[{labels}] value` with a numeric value.
+func TestMetricsExposition(t *testing.T) {
+	s := newTestServer(t, 512)
+	s.computeDrift()
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range RequiredMetrics {
+		if !strings.Contains(body, name) {
+			t.Errorf("missing metric %s", name)
+		}
+	}
+	if !strings.Contains(body, "lcds_max_phi_ratio_vs_exact") {
+		t.Error("missing drift gauge after computeDrift")
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+	}
+}
+
+// TestTelemetryEndpoint checks /debug/telemetry returns a JSON document
+// with the snapshot, drift and trace sections populated.
+func TestTelemetryEndpoint(t *testing.T) {
+	s := newTestServer(t, 512)
+	s.computeDrift()
+	rec := httptest.NewRecorder()
+	s.handleTelemetry(rec, httptest.NewRequest("GET", "/debug/telemetry", nil))
+	var rep telemetryReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Snapshot.Queries == 0 || rep.Snapshot.Probes == 0 {
+		t.Fatalf("empty snapshot: %+v", rep.Snapshot)
+	}
+	if len(rep.Snapshot.TopCells) == 0 {
+		t.Fatal("snapshot has no top cells")
+	}
+	if rep.Drift == nil {
+		t.Fatal("drift missing after computeDrift")
+	}
+	if len(rep.Traces) == 0 {
+		t.Fatal("no traces despite TraceEvery=64 over 512 queries")
+	}
+}
+
+// TestDynamicExposition checks the per-shard rebuild metrics surface once
+// the dynamic dictionary has rebuilt.
+func TestDynamicExposition(t *testing.T) {
+	keys := genKeys(1500, 9)
+	dd, err := lcds.NewDynamic(keys[:1000], 0.05, lcds.WithSeed(9),
+		lcds.WithTelemetry(lcds.TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[1000:1200] {
+		if _, err := dd.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dd.Quiesce()
+	s := &server{d: dynAdapter{dd}, keys: keys[:1000]}
+	s.d.Contains(keys[0])
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{"lcds_rebuilds_total", "lcds_rebuild_ns", "lcds_delta_high_water"} {
+		if !strings.Contains(body, name) {
+			t.Errorf("dynamic exposition missing %s", name)
+		}
+	}
+	if strings.Contains(body, "lcds_rebuilds_total{shard=\"0\"} 0") {
+		t.Error("rebuild counter still zero after forced rebuilds")
+	}
+}

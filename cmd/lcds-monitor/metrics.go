@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	lcds "repro"
+)
+
+// RequiredMetrics is the stable exposition contract: every name must appear
+// in /metrics output regardless of configuration. CI's smoke job and
+// -selfcheck both assert against this list.
+var RequiredMetrics = []string{
+	"lcds_queries_total",
+	"lcds_hits_total",
+	"lcds_misses_total",
+	"lcds_errors_total",
+	"lcds_probes_total",
+	"lcds_probes_per_query",
+	"lcds_max_phi",
+	"lcds_max_phi_n",
+	"lcds_step_mass",
+	"lcds_sample",
+	"lcds_cells",
+	"lcds_keys",
+	"lcds_uptime_seconds",
+	"lcds_latency_ns",
+	"lcds_batch_latency_ns",
+}
+
+// writeMetrics renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4), with no client library: the snapshot
+// is already a consistent point-in-time read, so exposition is pure
+// formatting.
+func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("lcds_queries_total", "Queries observed by the telemetry layer.", s.Queries)
+	counter("lcds_hits_total", "Queries answered true.", s.Hits)
+	counter("lcds_misses_total", "Queries answered false.", s.Misses)
+	counter("lcds_errors_total", "Queries that returned an error.", s.Errors)
+	counter("lcds_probes_total", "Cell probes (sampled counts scaled by lcds_sample).", s.Probes)
+	gauge("lcds_probes_per_query", "Mean probes per query.", s.ProbesPerQuery)
+	gauge("lcds_max_phi", "Empirical per-cell contention max_j phi(j) (Definition 1).", s.MaxPhi)
+	gauge("lcds_max_phi_n", "max_j phi(j) * n, the paper's absolute contention headline.", s.MaxPhiN)
+	gauge("lcds_max_phi_cell", "Flat index of the hottest cell.", float64(s.MaxPhiCell))
+	gauge("lcds_sample", "Probe sampling rate (1 = every probe counted).", float64(s.Sample))
+	gauge("lcds_cells", "Cell-probe table size s.", float64(s.Cells))
+	gauge("lcds_keys", "Member key count n.", float64(s.N))
+	gauge("lcds_uptime_seconds", "Seconds since telemetry was attached.", s.UptimeSeconds)
+
+	fmt.Fprintf(w, "# HELP lcds_step_mass Probability a query executes probe step t.\n# TYPE lcds_step_mass gauge\n")
+	for t, m := range s.StepMass {
+		fmt.Fprintf(w, "lcds_step_mass{step=\"%d\"} %g\n", t, m)
+	}
+
+	for _, h := range s.TopCells {
+		fmt.Fprintf(w, "lcds_hot_cell_phi{cell=\"%d\"} %g\n", h.Cell, h.Phi)
+	}
+	for _, r := range s.Ranges {
+		fmt.Fprintf(w, "lcds_range_probes_total{range=%q} %d\n", r.Name, r.Probes)
+		fmt.Fprintf(w, "lcds_range_share{range=%q} %g\n", r.Name, r.Share)
+		fmt.Fprintf(w, "lcds_range_max_phi{range=%q} %g\n", r.Name, r.MaxPhi)
+	}
+
+	summary("lcds_latency_ns", "Contains latency in nanoseconds (log2 buckets; quantiles are bucket upper bounds).", w, s.Latency)
+	summary("lcds_batch_latency_ns", "ContainsBatch latency in nanoseconds per batch.", w, s.BatchLatency)
+
+	for _, d := range s.Dynamic {
+		sh := fmt.Sprintf("{shard=\"%d\"}", d.Shard)
+		fmt.Fprintf(w, "lcds_rebuilds_total%s %d\n", sh, d.Rebuilds)
+		fmt.Fprintf(w, "lcds_rebuild_keys_total%s %d\n", sh, d.RebuildKeys)
+		fmt.Fprintf(w, "lcds_rebuild_failures_total%s %d\n", sh, d.RebuildFails)
+		fmt.Fprintf(w, "lcds_delta_depth%s %d\n", sh, d.DeltaDepth)
+		fmt.Fprintf(w, "lcds_delta_high_water%s %d\n", sh, d.DeltaHighWater)
+		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.5"), d.RebuildNs.P50)
+		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.99"), d.RebuildNs.P99)
+		fmt.Fprintf(w, "lcds_rebuild_ns_sum%s %d\n", sh, d.RebuildNs.Sum)
+		fmt.Fprintf(w, "lcds_rebuild_ns_count%s %d\n", sh, d.RebuildNs.Count)
+		fmt.Fprintf(w, "lcds_writer_pause_ns%s %d\n", labels(d.Shard, "0.99"), d.WriterPauseNs.P99)
+		fmt.Fprintf(w, "lcds_writer_pause_ns_sum%s %d\n", sh, d.WriterPauseNs.Sum)
+		fmt.Fprintf(w, "lcds_writer_pause_ns_count%s %d\n", sh, d.WriterPauseNs.Count)
+	}
+
+	if drift != nil {
+		gauge("lcds_max_phi_ratio_vs_exact", "Live maxPhi divided by contention.Exact's maxPhi (1.0 = perfect agreement).", drift.Drift.MaxPhiRatio)
+		gauge("lcds_probes_ratio_vs_exact", "Live probes/query divided by the exact expectation.", drift.Drift.ProbesRatio)
+		gauge("lcds_step_mass_max_diff_vs_exact", "L-infinity gap between live and exact per-step probe mass.", drift.Drift.StepMassMaxDiff)
+	}
+}
+
+// summary renders a LogHistogram snapshot as a Prometheus summary. The
+// quantiles are log2-bucket upper bounds, which is what a 65-bucket
+// power-of-two histogram can honestly claim.
+func summary(name, help string, w io.Writer, h lcds.TelemetryHistogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+	fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", name, h.P50)
+	fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", name, h.P99)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+func labels(shard int, quantile string) string {
+	return fmt.Sprintf("{shard=\"%d\",quantile=%q}", shard, quantile)
+}

@@ -1,9 +1,14 @@
 package lcds
 
 import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/rng"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 )
 
 // DynamicDict is a mutable low-contention dictionary — the paper's §4
@@ -23,6 +28,12 @@ type DynamicDict struct {
 	inner   *dynamic.Dict      // unsharded (nil when sharded)
 	sharded *shard.DynamicDict // P-way composite (nil when unsharded)
 	src     rng.Source
+	// tel is the live telemetry layer, nil unless WithTelemetry was used.
+	// Dynamic telemetry is cell-agnostic (tables are replaced on rebuild):
+	// probe/step counters, latency histograms and per-shard rebuild metrics,
+	// but no per-cell Φ̂ vector.
+	tel     *telemetry.Telemetry
+	scratch sync.Pool // *core.QueryScratch for traced queries
 }
 
 // NewDynamic builds a dynamic dictionary over the initial keys. bufferFrac
@@ -45,23 +56,44 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 		Epsilon: bufferFrac,
 		Static:  cfg.o.params,
 	}
+	var tel *telemetry.Telemetry
+	if cfg.o.telem != nil {
+		// Cell-agnostic mode: the dynamic tables are replaced on every
+		// rebuild, so there is no stable per-cell index space to count in.
+		tel = telemetry.New(*cfg.o.telem, 0, len(initial))
+		params.Sink = tel
+	}
+	d := &DynamicDict{src: cfg.o.querySource(), tel: tel}
+	d.scratch.New = func() any { return new(core.QueryScratch) }
 	if cfg.o.shards > 1 {
-		sharded, err := shard.NewDynamic(initial, cfg.o.shards, params, cfg.o.seed)
+		var metricsFor func(i int) dynamic.Metrics
+		if tel != nil {
+			metricsFor = func(i int) dynamic.Metrics { return tel.DynamicShard(i) }
+		}
+		sharded, err := shard.NewDynamicWithMetrics(initial, cfg.o.shards, params, cfg.o.seed, metricsFor)
 		if err != nil {
 			return nil, err
 		}
-		return &DynamicDict{sharded: sharded, src: cfg.o.querySource()}, nil
+		d.sharded = sharded
+		return d, nil
+	}
+	if tel != nil {
+		params.Metrics = tel.DynamicShard(0)
 	}
 	inner, err := dynamic.New(initial, params, cfg.o.seed)
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicDict{inner: inner, src: cfg.o.querySource()}, nil
+	d.inner = inner
+	return d, nil
 }
 
 // Contains reports membership of x. It acquires no lock and runs
 // concurrently with updates and rebuilds.
 func (d *DynamicDict) Contains(x uint64) (bool, error) {
+	if d.tel != nil {
+		return d.containsTelemetry(x)
+	}
 	if d.sharded != nil {
 		return d.sharded.Contains(x, d.src)
 	}
@@ -77,6 +109,17 @@ func (d *DynamicDict) Contains(x uint64) (bool, error) {
 // groups on concurrent goroutines (a source supplied via WithQuerySource
 // must then be safe for concurrent use).
 func (d *DynamicDict) ContainsBatch(keys []uint64, out []bool) error {
+	if d.tel != nil {
+		start := time.Now()
+		err := d.containsBatch(keys, out)
+		observeBatch(d.tel, out, len(keys), err, start)
+		return err
+	}
+	return d.containsBatch(keys, out)
+}
+
+// containsBatch is the uninstrumented batch path.
+func (d *DynamicDict) containsBatch(keys []uint64, out []bool) error {
 	if d.sharded != nil {
 		return d.sharded.ContainsBatchParallel(keys, out, d.src)
 	}

@@ -1,0 +1,72 @@
+// Monitor quickstart: turn on live contention telemetry with one option,
+// read the runtime Φ̂ estimate, and check it against the exact offline
+// analysis — the theory-vs-runtime loop of EXPERIMENTS.md §A8 in ~40 lines.
+//
+// The full HTTP exposition (Prometheus /metrics, /debug/telemetry JSON,
+// pprof) is `go run ./cmd/lcds-monitor`; this example uses the same
+// telemetry layer directly through the library API.
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+
+	lcds "repro"
+)
+
+func main() {
+	const n = 4096
+	const seed = 2010
+
+	keys := experiments.Keys(n, seed)
+	d, err := lcds.New(keys, lcds.WithSeed(seed),
+		lcds.WithTelemetry(lcds.TelemetryConfig{
+			Sample:     1,  // count every probe (k>1 samples 1-in-k)
+			TraceEvery: 64, // keep a full probe trace for 1 in 64 queries
+			TopK:       5,  // hottest cells in the snapshot
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the uniform positive distribution round-robin: every key gets
+	// the same query count, so the empirical Φ̂ converges to the analysis.
+	const passes = 64
+	for pass := 0; pass < passes; pass++ {
+		for _, k := range keys {
+			if !d.Contains(k) {
+				log.Fatalf("lost key %d", k)
+			}
+		}
+	}
+
+	snap := d.Telemetry().Snapshot()
+	fmt.Printf("queries        %d (hits %d)\n", snap.Queries, snap.Hits)
+	fmt.Printf("probes/query   %.3f\n", snap.ProbesPerQuery)
+	fmt.Printf("maxΦ̂·n        %.4f  (cell %d; the paper's headline, 1.00 = perfectly spread)\n",
+		snap.MaxPhiN, snap.MaxPhiCell)
+	fmt.Printf("p99 latency    %d ns\n", snap.Latency.P99)
+	fmt.Println("hottest cells:")
+	for _, h := range snap.TopCells {
+		fmt.Printf("  cell %6d  Φ̂·n = %.4f\n", h.Cell, h.Phi*float64(n))
+	}
+
+	// The self-check: diff the live estimate against contention.Exact.
+	drift, err := d.TelemetryCompareExact(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive vs exact: maxΦ ratio %.4f, probes ratio %.4f, step-mass L∞ %.2g\n",
+		drift.MaxPhiRatio, drift.ProbesRatio, drift.StepMassMaxDiff)
+
+	// A few recent probe traces (cell sequences of individual queries).
+	traces := d.Telemetry().Traces()
+	if len(traces) > 0 {
+		tr := traces[0]
+		fmt.Printf("\nsample trace: key %x, %d steps, cells %v\n", tr.KeyHash, tr.Steps, tr.Cells)
+	}
+}

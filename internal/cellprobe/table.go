@@ -2,13 +2,16 @@
 // a table of s cells of b bits each, probed by a randomized adaptive query
 // algorithm, with per-cell per-step contention accounting.
 //
-// Two accounting mechanisms coexist:
+// Three accounting mechanisms coexist:
 //
 //   - a Recorder counts actual probes during Monte-Carlo query execution,
 //     yielding the empirical contention Φ̂_t(j) = probes_t(j) / queries;
 //   - a ProbeSpec describes a query's exact per-step probe distribution as
 //     a set of uniform spans, from which package contention computes the
-//     exact Φ_t = q·P_t of Definition 1 without sampling.
+//     exact Φ_t = q·P_t of Definition 1 without sampling;
+//   - a ProbeSink observes the live probe stream concurrently — the
+//     production telemetry hook (internal/telemetry), counting on striped
+//     counters instead of the Recorder's sequential dense matrices.
 //
 // Cells are 128 bits (b = Θ(log N) for the 2^61-key universe; wide enough
 // that one cell holds a full pairwise hash function, preserving the paper's
@@ -38,6 +41,7 @@ type Table struct {
 	block []blockRow // block[r].values non-nil for compact rows
 	rec   *Recorder
 	trace func(step, cell int)
+	sink  ProbeSink
 	fwd   *forward
 }
 
@@ -58,6 +62,9 @@ func (f *forward) record(step, cell int) {
 	}
 	if f.parent.trace != nil {
 		f.parent.trace(step, cell)
+	}
+	if f.parent.sink != nil {
+		f.parent.sink.ProbeObserved(step, cell)
 	}
 	if f.parent.fwd != nil {
 		f.parent.fwd.record(step, cell)
@@ -191,6 +198,9 @@ func (t *Table) Probe(step, row, col int) Cell {
 	if t.trace != nil {
 		t.trace(step, i)
 	}
+	if t.sink != nil {
+		t.sink.ProbeObserved(step, i)
+	}
 	if t.fwd != nil {
 		t.fwd.record(step, i)
 	}
@@ -207,6 +217,9 @@ func (t *Table) ProbeIndex(step, i int) Cell {
 	}
 	if t.trace != nil {
 		t.trace(step, i)
+	}
+	if t.sink != nil {
+		t.sink.ProbeObserved(step, i)
 	}
 	if t.fwd != nil {
 		t.fwd.record(step, i)

@@ -19,6 +19,37 @@ type QueryScratch struct {
 	fc, gc []uint64
 	words  []uint64
 	vec    bitvec.Vector
+
+	// capture arms per-probe trace capture (StartCapture): probeLog[t]
+	// records the flat cell index probed at step t of the next query. A
+	// scratch serves one query at a time by construction, so capture needs
+	// no synchronization; un-armed queries pay one predictable untaken
+	// branch per probe.
+	capture  bool
+	probeLog []int32
+}
+
+// StartCapture arms per-probe capture for the next ContainsScratch call on
+// this scratch. The telemetry layer uses it to build per-query traces.
+func (sc *QueryScratch) StartCapture() {
+	sc.capture = true
+	sc.probeLog = sc.probeLog[:0]
+}
+
+// StopCapture disarms capture and returns the per-step flat cell indices
+// recorded since StartCapture (aliasing scratch memory: valid until the
+// next StartCapture).
+func (sc *QueryScratch) StopCapture() []int32 {
+	sc.capture = false
+	return sc.probeLog
+}
+
+// logProbe records cell as the probe target of the given step.
+func (sc *QueryScratch) logProbe(step int, cell int32) {
+	for len(sc.probeLog) <= step {
+		sc.probeLog = append(sc.probeLog, -1)
+	}
+	sc.probeLog[step] = cell
 }
 
 // ensure sizes the buffers for a dictionary with degree d and rho histogram
@@ -64,11 +95,20 @@ func (dict *Dict) ContainsScratch(x uint64, r rng.Source, sc *QueryScratch) (boo
 	// Phase 1: read the 2d coefficient cells (one random replica each),
 	// reconstruct f and g in place, then read z_{g(x)} from a random copy.
 	for i := 0; i < d; i++ {
-		sc.fc[i] = tab.Probe(i, i, r.Intn(s)).Lo
-		sc.gc[i] = tab.Probe(d+i, d+i, r.Intn(s)).Lo
+		cf, cg := r.Intn(s), r.Intn(s)
+		sc.fc[i] = tab.Probe(i, i, cf).Lo
+		sc.gc[i] = tab.Probe(d+i, d+i, cg).Lo
+		if sc.capture {
+			sc.logProbe(i, int32(tab.Index(i, cf)))
+			sc.logProbe(d+i, int32(tab.Index(d+i, cg)))
+		}
 	}
 	gx := int(hash.EvalFromCoef(sc.gc, uint64(dict.r), x))
-	zv := tab.Probe(2*d, dict.zRow(), dict.zReplicaCol(gx, r.Intn(dict.blkZ))).Lo
+	cz := dict.zReplicaCol(gx, r.Intn(dict.blkZ))
+	zv := tab.Probe(2*d, dict.zRow(), cz).Lo
+	if sc.capture {
+		sc.logProbe(2*d, int32(tab.Index(dict.zRow(), cz)))
+	}
 	if zv >= uint64(s) {
 		return false, fmt.Errorf("core: corrupt table: z value %d outside [0, %d)", zv, s)
 	}
@@ -78,13 +118,21 @@ func (dict *Dict) ContainsScratch(x uint64, r rng.Source, sc *QueryScratch) (boo
 
 	// Phase 2: group base address and the group histogram.
 	step := 2*d + 1
-	gbas := tab.Probe(step, dict.gbasRow(), dict.groupReplicaCol(hp, r.Intn(dict.blkG))).Lo
+	cb := dict.groupReplicaCol(hp, r.Intn(dict.blkG))
+	gbas := tab.Probe(step, dict.gbasRow(), cb).Lo
+	if sc.capture {
+		sc.logProbe(step, int32(tab.Index(dict.gbasRow(), cb)))
+	}
 	if gbas > uint64(s) {
 		return false, fmt.Errorf("core: corrupt table: group base address %d outside [0, %d]", gbas, s)
 	}
 	for w := 0; w < dict.rho; w++ {
 		step++
-		c := tab.Probe(step, dict.histRow()+w, dict.groupReplicaCol(hp, r.Intn(dict.blkG)))
+		ch := dict.groupReplicaCol(hp, r.Intn(dict.blkG))
+		c := tab.Probe(step, dict.histRow()+w, ch)
+		if sc.capture {
+			sc.logProbe(step, int32(tab.Index(dict.histRow()+w, ch)))
+		}
 		sc.words[2*w], sc.words[2*w+1] = c.Lo, c.Hi
 	}
 
@@ -106,10 +154,18 @@ func (dict *Dict) ContainsScratch(x uint64, r rng.Source, sc *QueryScratch) (boo
 
 	// Phase 4: perfect hash from a random cell of the span, then the data cell.
 	step++
-	phc := tab.Probe(step, dict.phRow(), off+r.Intn(span))
+	cp := off + r.Intn(span)
+	phc := tab.Probe(step, dict.phRow(), cp)
+	if sc.capture {
+		sc.logProbe(step, int32(tab.Index(dict.phRow(), cp)))
+	}
 	hstar := hash.Pairwise{A: phc.Lo, B: phc.Hi, M: uint64(span)}
 	step++
-	dc := tab.Probe(step, dict.dataRow(), off+int(hstar.Eval(x)))
+	cd := off + int(hstar.Eval(x))
+	dc := tab.Probe(step, dict.dataRow(), cd)
+	if sc.capture {
+		sc.logProbe(step, int32(tab.Index(dict.dataRow(), cd)))
+	}
 	return dc.Hi == occupiedTag && dc.Lo == x, nil
 }
 

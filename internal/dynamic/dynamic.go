@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cellprobe"
 	"repro/internal/core"
@@ -85,7 +86,39 @@ type Params struct {
 	// for reproducible experiments (X1) at the cost of O(n) update-call
 	// latency at each rebuild.
 	SyncRebuild bool
+	// Sink, when non-nil, observes every recorded probe of the published
+	// epochs' tables (live telemetry): it is installed on each new epoch's
+	// static and buffer tables before the epoch is published, so readers
+	// never race the installation. Buffer probes are reported with their
+	// step offset by the static MaxProbes, keeping the two step ranges
+	// distinguishable in step-mass reports. The sink sees the write path's
+	// buffer probes too (the table cannot tell them apart); Stats separates
+	// read and write probe counts exactly.
+	Sink cellprobe.ProbeSink
+	// Metrics, when non-nil, receives the rebuild-side telemetry: epoch
+	// publishes, rebuild durations, writer pauses at the delta hard cap,
+	// and the buffered-delta depth.
+	Metrics Metrics
 }
+
+// Metrics receives a dynamic dictionary's rebuild-side telemetry.
+// *telemetry.DynamicMetrics implements it; the indirection keeps this
+// package below internal/telemetry in the import graph.
+type Metrics interface {
+	RebuildDone(n int, durationNs int64)
+	RebuildFailed(durationNs int64)
+	WriterPaused(pauseNs int64)
+	SetDeltaDepth(depth int)
+}
+
+// stepSink offsets every observed probe's step — the buffer table's sink,
+// so buffer steps land past the static dictionary's step range.
+type stepSink struct {
+	sink cellprobe.ProbeSink
+	off  int
+}
+
+func (s stepSink) ProbeObserved(step, cell int) { s.sink.ProbeObserved(step+s.off, cell) }
 
 // Stats describes the dictionary's dynamic behaviour.
 type Stats struct {
@@ -219,9 +252,10 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 	defer d.mu.Unlock()
 	d.epoch = 1
 	keys := d.memberKeys()
+	started := time.Now()
 	base, err := core.Build(keys, d.p.Static, d.seed+1)
 	d.rebuilding = true
-	d.finishRebuild(base, err, 1, len(keys))
+	d.finishRebuild(base, err, 1, len(keys), started)
 	if d.rebuildErr != nil {
 		return nil, d.rebuildErr
 	}
@@ -274,25 +308,29 @@ func (d *Dict) startRebuild() {
 	ep := d.epoch
 	keys := d.memberKeys()
 	d.delta = nil
+	started := time.Now()
 	if d.p.SyncRebuild {
 		base, err := core.Build(keys, d.p.Static, d.seed+uint64(ep))
-		d.finishRebuild(base, err, ep, len(keys))
+		d.finishRebuild(base, err, ep, len(keys), started)
 		return
 	}
 	go func() {
 		base, err := core.Build(keys, d.p.Static, d.seed+uint64(ep))
 		d.mu.Lock()
 		defer d.mu.Unlock()
-		d.finishRebuild(base, err, ep, len(keys))
+		d.finishRebuild(base, err, ep, len(keys), started)
 	}()
 }
 
 // finishRebuild publishes epoch ep around the freshly built base, replaying
 // any updates that arrived while the build ran. Callers hold d.mu.
-func (d *Dict) finishRebuild(base *core.Dict, err error, ep, n int) {
+func (d *Dict) finishRebuild(base *core.Dict, err error, ep, n int, started time.Time) {
 	d.rebuilding = false
 	defer d.cond.Broadcast()
 	if err != nil {
+		if d.p.Metrics != nil {
+			d.p.Metrics.RebuildFailed(time.Since(started).Nanoseconds())
+		}
 		d.rebuildErr = fmt.Errorf("dynamic: rebuild %d: %w", ep, err)
 		return
 	}
@@ -304,6 +342,16 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep, n int) {
 		}
 	}
 	d.delta = nil
+	if d.p.Sink != nil {
+		// Installed before the epoch pointer is published: no reader has the
+		// new tables yet, so SetSink cannot race a probe.
+		base.Table().SetSink(d.p.Sink)
+		buf.acct.SetSink(stepSink{sink: d.p.Sink, off: base.MaxProbes()})
+	}
+	if d.p.Metrics != nil {
+		d.p.Metrics.RebuildDone(n, time.Since(started).Nanoseconds())
+		d.p.Metrics.SetDeltaDepth(buf.buffered)
+	}
 	d.cur.Store(&epoch{base: base, buf: buf})
 	d.stats.Epoch = ep
 	d.stats.SnapshotN = n
@@ -359,17 +407,30 @@ func (d *Dict) apply(b *buffer, x uint64, del bool) error {
 // more entry, waiting out an in-flight rebuild if the writer outran it.
 // Callers hold d.mu.
 func (d *Dict) writableEpoch() (*epoch, error) {
+	var pauseStart time.Time
+	paused := false
+	endPause := func() {
+		if paused && d.p.Metrics != nil {
+			d.p.Metrics.WriterPaused(time.Since(pauseStart).Nanoseconds())
+		}
+	}
 	for {
 		if d.rebuildErr != nil {
+			endPause()
 			return nil, d.rebuildErr
 		}
 		e := d.cur.Load()
 		if e.buf.occupied < e.buf.hardCap {
+			endPause()
 			return e, nil
 		}
 		if !d.rebuilding {
 			d.startRebuild()
 			continue
+		}
+		if !paused {
+			paused = true
+			pauseStart = time.Now()
 		}
 		d.cond.Wait()
 	}
@@ -386,6 +447,14 @@ func (d *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 	ok, err := d.containsEpoch(e, x, r, sc)
 	d.scratch.Put(sc)
 	return ok, err
+}
+
+// ContainsScratch is Contains with caller-supplied working memory, pinning
+// the current epoch for the single query. The facade's telemetry path uses
+// it with a capture-armed scratch to trace the static probes of a query
+// (buffer probes are not captured — their cell indices are epoch-local).
+func (d *Dict) ContainsScratch(x uint64, r rng.Source, sc *core.QueryScratch) (bool, error) {
+	return d.containsEpoch(d.cur.Load(), x, r, sc)
 }
 
 // containsEpoch answers membership against one pinned epoch.
@@ -468,6 +537,9 @@ func (d *Dict) mutate(x uint64, del bool) (bool, error) {
 	}
 	d.n.Store(int64(len(d.members)))
 	d.stats.Updates++
+	if d.p.Metrics != nil {
+		d.p.Metrics.SetDeltaDepth(e.buf.buffered)
+	}
 	if d.rebuilding {
 		d.delta = append(d.delta, update{key: x, del: del})
 	}

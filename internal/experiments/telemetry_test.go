@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestA8ShapeTelemetryAgreement checks the live Φ̂ estimator against the
+// exact analysis: the deterministic round-robin drive must land the core
+// dictionary's measured maxΦ̂·n within 5% of contention.Exact (the
+// acceptance bound; in practice the agreement is exact), and every scheme's
+// live probes-per-query must stay within 5% of its exact expectation.
+func TestA8ShapeTelemetryAgreement(t *testing.T) {
+	cfg := Quick()
+	cfg.Structures = []string{"lcds", "bsearch", "cuckoo+rep"}
+	tab, err := A8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("A8 rows = %d, want 3", len(tab.Rows))
+	}
+	col := func(row []string, i int) float64 {
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			t.Fatalf("row %v col %d: %v", row, i, err)
+		}
+		return v
+	}
+	sawCore := false
+	for _, row := range tab.Rows {
+		probesLive, probesExact := col(row, 2), col(row, 3)
+		if probesExact <= 0 {
+			t.Fatalf("%s: non-positive exact probes %v", row[0], probesExact)
+		}
+		if r := probesLive / probesExact; r < 0.95 || r > 1.05 {
+			t.Errorf("%s: probes/query live %.3f vs exact %.3f (ratio %.3f) outside 5%%",
+				row[0], probesLive, probesExact, r)
+		}
+		if row[0] == "lcds" {
+			sawCore = true
+			ratio := col(row, 6)
+			if ratio < 0.95 || ratio > 1.05 {
+				t.Errorf("lcds: maxΦ̂·n ratio %.3f outside the 5%% acceptance bound", ratio)
+			}
+			// The round-robin drive is deterministic for the core scheme:
+			// the agreement should be exact, not merely within tolerance.
+			if live, exact := col(row, 4), col(row, 5); live != exact {
+				t.Errorf("lcds: maxΦ̂·n live %.3f != exact %.3f under deterministic drive", live, exact)
+			}
+		}
+	}
+	if !sawCore {
+		t.Fatal("A8 table has no lcds row")
+	}
+}

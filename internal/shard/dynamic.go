@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/hash"
 	"repro/internal/rng"
@@ -31,6 +32,14 @@ type DynamicDict struct {
 // NewDynamic builds a P-way sharded dynamic dictionary over the initial
 // keys. p configures every shard identically.
 func NewDynamic(initial []uint64, shards int, p dynamic.Params, seed uint64) (*DynamicDict, error) {
+	return NewDynamicWithMetrics(initial, shards, p, seed, nil)
+}
+
+// NewDynamicWithMetrics is NewDynamic with a per-shard metrics supplier:
+// when metricsFor is non-nil, shard i is built with p.Metrics replaced by
+// metricsFor(i), so each shard's rebuild telemetry lands in its own slot
+// (the facade passes telemetry.Telemetry.DynamicShard).
+func NewDynamicWithMetrics(initial []uint64, shards int, p dynamic.Params, seed uint64, metricsFor func(i int) dynamic.Metrics) (*DynamicDict, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: shard count %d must be ≥ 1", shards)
 	}
@@ -44,7 +53,11 @@ func NewDynamic(initial []uint64, shards int, p dynamic.Params, seed uint64) (*D
 	}
 	d := &DynamicDict{route: route, shards: make([]*dynamic.Dict, shards)}
 	for i, part := range parts {
-		inner, err := dynamic.New(part, p, subseed(seed, i))
+		sp := p
+		if metricsFor != nil {
+			sp.Metrics = metricsFor(i)
+		}
+		inner, err := dynamic.New(part, sp, subseed(seed, i))
 		if err != nil {
 			return nil, fmt.Errorf("shard %d/%d: %w", i, shards, err)
 		}
@@ -66,6 +79,16 @@ func (d *DynamicDict) ShardOf(x uint64) int { return int(d.route.Eval(x)) }
 // shard's current epoch.
 func (d *DynamicDict) Contains(x uint64, r rng.Source) (bool, error) {
 	return d.shards[d.ShardOf(x)].Contains(x, r)
+}
+
+// ContainsTraced is Contains with caller-supplied scratch, reporting which
+// shard answered — the telemetry layer's traced-query entry point (arm the
+// scratch with StartCapture first). Captured cell indices are local to the
+// answering shard's current static snapshot.
+func (d *DynamicDict) ContainsTraced(x uint64, r rng.Source, sc *core.QueryScratch) (bool, int, error) {
+	i := d.ShardOf(x)
+	ok, err := d.shards[i].ContainsScratch(x, r, sc)
+	return ok, i, err
 }
 
 // Insert adds x, touching only its shard; it reports whether the set

@@ -158,6 +158,12 @@ func (d *Dict) ShardOf(x uint64) int { return int(d.route.Eval(x)) }
 // CellOffset returns the flat composite index of shard i's first cell.
 func (d *Dict) CellOffset(i int) int { return d.cellOff[i] }
 
+// StepOffset returns shard i's first probe step in the composite's
+// ProbeSpec layout, which gives every shard a disjoint step range (the
+// runtime forwarding instead time-aligns all shards at step 1, since only
+// one shard executes per query).
+func (d *Dict) StepOffset(i int) int { return d.stepOff[i] }
+
 // RouteWidth returns the number of routing replicas R.
 func (d *Dict) RouteWidth() int { return d.routeW }
 
@@ -185,6 +191,22 @@ func (d *Dict) containsShard(i int, x uint64, r rng.Source) (bool, error) {
 		return ok2, err
 	}
 	return d.shards[i].Contains(x, r)
+}
+
+// ContainsTraced is Contains with caller-supplied scratch, reporting which
+// shard answered. The telemetry layer arms the scratch with StartCapture
+// before calling, so the inner query's probe log lands in it; captured cell
+// indices are shard-local — translate them with CellOffset(shard). Inner
+// schemes other than the low-contention dictionary answer normally but
+// capture nothing.
+func (d *Dict) ContainsTraced(x uint64, r rng.Source, sc *core.QueryScratch) (found bool, shard int, err error) {
+	shard = d.routeProbe(x, r)
+	if cd, ok := d.shards[shard].(*core.Dict); ok {
+		found, err = cd.ContainsScratch(x, r, sc)
+		return found, shard, err
+	}
+	found, err = d.shards[shard].Contains(x, r)
+	return found, shard, err
 }
 
 // group is one shard's slice of a batch.

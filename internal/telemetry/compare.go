@@ -1,0 +1,69 @@
+package telemetry
+
+import "repro/internal/contention"
+
+// Drift is the result of diffing a live telemetry snapshot against the
+// exact offline contention analysis of the same structure — the
+// theory-vs-runtime self-check. All ratios are live/exact, so 1.0 means
+// the running system behaves exactly as Definition 1 predicts.
+type Drift struct {
+	// MaxPhiLive is the snapshot's max_j Φ̂(j); MaxPhiExact is the
+	// analytic max_j Φ(j) (ExactResult.MaxTotal) under the uniform
+	// query distribution.
+	MaxPhiLive  float64 `json:"max_phi_live"`
+	MaxPhiExact float64 `json:"max_phi_exact"`
+	MaxPhiRatio float64 `json:"max_phi_ratio"`
+
+	// ProbesLive / ProbesExact compare probes per query.
+	ProbesLive  float64 `json:"probes_per_query_live"`
+	ProbesExact float64 `json:"probes_per_query_exact"`
+	ProbesRatio float64 `json:"probes_ratio"`
+
+	// StepMassMaxDiff is the L∞ distance between live and exact per-step
+	// probe masses over the steps both report.
+	StepMassMaxDiff float64 `json:"step_mass_max_diff"`
+}
+
+// CompareExact diffs the live snapshot against an exact analysis computed
+// by contention.Exact (or shard.ComposeExact) for the same structure and
+// the query distribution the live workload is believed to follow. A ratio
+// far from 1.0 means the live workload's effective query distribution has
+// drifted from the analyzed one — e.g. key skew concentrating probe mass —
+// which is precisely the condition worth alerting on.
+//
+// The live MaxPhi is a per-cell *total* (Σ_t over steps), so it is
+// compared against ExactResult.MaxTotal, the total contention of
+// Definition 1.
+func (s Snapshot) CompareExact(ex contention.ExactResult) Drift {
+	d := Drift{
+		MaxPhiLive:  s.MaxPhi,
+		MaxPhiExact: ex.MaxTotal,
+		ProbesLive:  s.ProbesPerQuery,
+		ProbesExact: ex.Probes,
+	}
+	if d.MaxPhiExact > 0 {
+		d.MaxPhiRatio = d.MaxPhiLive / d.MaxPhiExact
+	}
+	if d.ProbesExact > 0 {
+		d.ProbesRatio = d.ProbesLive / d.ProbesExact
+	}
+	for t, live := range s.StepMass {
+		exact := 0.0
+		if t < len(ex.StepMass) {
+			exact = ex.StepMass[t]
+		}
+		diff := live - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > d.StepMassMaxDiff {
+			d.StepMassMaxDiff = diff
+		}
+	}
+	for t := len(s.StepMass); t < len(ex.StepMass); t++ {
+		if ex.StepMass[t] > d.StepMassMaxDiff {
+			d.StepMassMaxDiff = ex.StepMass[t]
+		}
+	}
+	return d
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import "sync/atomic"
+
+// DynamicMetrics is the rebuild-side telemetry of one dynamic dictionary
+// (one shard of a sharded dynamic composite, or the whole dictionary when
+// unsharded): epoch publishes, rebuild durations, writer pauses at the
+// delta hard cap, and the buffered-delta depth. All methods are safe for
+// concurrent use; the dictionary's writer lock already serializes most
+// callers, but readers snapshot concurrently.
+type DynamicMetrics struct {
+	shard int
+
+	rebuilds    atomic.Uint64 // epochs published (successful rebuilds)
+	rebuildKeys atomic.Uint64 // keys rebuilt into published epochs, cumulative
+	failures    atomic.Uint64 // rebuild attempts that errored
+
+	deltaDepth atomic.Int64  // current buffered-delta depth
+	deltaHigh  atomic.Uint64 // high-water delta depth since start
+
+	rebuildNs *LogHistogram // duration of each background/sync rebuild
+	pauseNs   *LogHistogram // writer stalls waiting at the delta hard cap
+}
+
+// NewDynamicMetrics creates the metrics slot for one shard.
+func NewDynamicMetrics(shard int) *DynamicMetrics {
+	return &DynamicMetrics{shard: shard, rebuildNs: NewLogHistogram(), pauseNs: NewLogHistogram()}
+}
+
+// RebuildDone records a completed rebuild that published an epoch of n
+// keys after durationNs nanoseconds.
+func (m *DynamicMetrics) RebuildDone(n int, durationNs int64) {
+	m.rebuilds.Add(1)
+	m.rebuildKeys.Add(uint64(n))
+	m.rebuildNs.Observe(uint64(durationNs))
+}
+
+// RebuildFailed records a rebuild attempt that ended in error.
+func (m *DynamicMetrics) RebuildFailed(durationNs int64) {
+	m.failures.Add(1)
+	m.rebuildNs.Observe(uint64(durationNs))
+}
+
+// WriterPaused records one writer stall of pauseNs nanoseconds spent
+// blocked at the buffered-delta hard cap.
+func (m *DynamicMetrics) WriterPaused(pauseNs int64) {
+	m.pauseNs.Observe(uint64(pauseNs))
+}
+
+// SetDeltaDepth publishes the current buffered-delta depth and maintains
+// the high-water mark.
+func (m *DynamicMetrics) SetDeltaDepth(depth int) {
+	m.deltaDepth.Store(int64(depth))
+	for {
+		hi := m.deltaHigh.Load()
+		if uint64(depth) <= hi || m.deltaHigh.CompareAndSwap(hi, uint64(depth)) {
+			return
+		}
+	}
+}
+
+// DynamicSnapshot is a point-in-time read of one shard's rebuild metrics.
+type DynamicSnapshot struct {
+	Shard          int               `json:"shard"`
+	Rebuilds       uint64            `json:"rebuilds"`
+	RebuildKeys    uint64            `json:"rebuild_keys"`
+	RebuildFails   uint64            `json:"rebuild_fails"`
+	DeltaDepth     int64             `json:"delta_depth"`
+	DeltaHighWater uint64            `json:"delta_high_water"`
+	RebuildNs      HistogramSnapshot `json:"rebuild_ns"`
+	WriterPauseNs  HistogramSnapshot `json:"writer_pause_ns"`
+}
+
+// Snapshot reads the metrics.
+func (m *DynamicMetrics) Snapshot() DynamicSnapshot {
+	return DynamicSnapshot{
+		Shard:          m.shard,
+		Rebuilds:       m.rebuilds.Load(),
+		RebuildKeys:    m.rebuildKeys.Load(),
+		RebuildFails:   m.failures.Load(),
+		DeltaDepth:     m.deltaDepth.Load(),
+		DeltaHighWater: m.deltaHigh.Load(),
+		RebuildNs:      m.rebuildNs.Snapshot(),
+		WriterPauseNs:  m.pauseNs.Snapshot(),
+	}
+}

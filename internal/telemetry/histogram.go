@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"math/bits"
+
+	"repro/internal/cellprobe"
+)
+
+// histBuckets is the bucket count of a LogHistogram: one bucket per
+// power-of-two magnitude of a uint64 (bits.Len64 ∈ [0, 64]).
+const histBuckets = 65
+
+// LogHistogram is a concurrent latency histogram with power-of-two bucket
+// boundaries: an observation v lands in bucket bits.Len64(v), i.e. bucket
+// k covers [2^(k-1), 2^k). Counts land on a striped vector and the running
+// sum on a striped counter, so concurrent observers never contend.
+type LogHistogram struct {
+	counts *cellprobe.StripedVector
+	sum    *cellprobe.StripedCounter
+}
+
+// NewLogHistogram creates an empty histogram.
+func NewLogHistogram() *LogHistogram {
+	return &LogHistogram{
+		counts: cellprobe.NewStripedVector(histBuckets, 0),
+		sum:    cellprobe.NewStripedCounter(),
+	}
+}
+
+// Observe records one value (typically a latency in nanoseconds).
+func (h *LogHistogram) Observe(v uint64) {
+	h.counts.Add(bits.Len64(v))
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time read of a LogHistogram. Buckets[k]
+// counts observations in [2^(k-1), 2^k); trailing empty buckets are
+// trimmed.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Mean    float64  `json:"mean"`
+	P50     uint64   `json:"p50"`
+	P99     uint64   `json:"p99"`
+	Max     uint64   `json:"max"` // upper bound of the highest non-empty bucket
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// BucketUpper returns the exclusive upper bound of bucket k, 2^k
+// (saturating at MaxUint64 for the last bucket).
+func BucketUpper(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1) << k
+}
+
+// Snapshot sweeps the histogram. Quantiles are upper bounds of the bucket
+// containing the quantile — conservative by at most a factor of two, which
+// is the resolution a log₂ histogram buys.
+func (h *LogHistogram) Snapshot() HistogramSnapshot {
+	raw := h.counts.Sums()
+	s := HistogramSnapshot{Sum: h.sum.Sum()}
+	last := -1
+	for k, c := range raw {
+		s.Count += c
+		if c > 0 {
+			last = k
+		}
+	}
+	if last < 0 {
+		return s
+	}
+	s.Buckets = raw[:last+1]
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	s.Max = BucketUpper(last)
+	s.P50 = h.quantile(s.Buckets, s.Count, 0.50)
+	s.P99 = h.quantile(s.Buckets, s.Count, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func (h *LogHistogram) quantile(buckets []uint64, count uint64, q float64) uint64 {
+	target := uint64(q * float64(count))
+	if target >= count {
+		target = count - 1
+	}
+	var cum uint64
+	for k, c := range buckets {
+		cum += c
+		if cum > target {
+			return BucketUpper(k)
+		}
+	}
+	return BucketUpper(len(buckets) - 1)
+}

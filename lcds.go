@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/contention"
 	"repro/internal/core"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/scheme"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 )
 
 // MaxKey is the exclusive upper bound of the key universe.
@@ -48,6 +50,9 @@ type Dict struct {
 	sharded *shard.Dict // P-way composite (nil when unsharded)
 	seed    uint64
 	src     rng.Source
+	// tel is the live telemetry layer, nil unless WithTelemetry was used —
+	// the query path's only telemetry cost when off is this one nil check.
+	tel *telemetry.Telemetry
 	// scratch pools per-query working memory (coefficient buffers,
 	// histogram words) so the steady-state read path allocates nothing.
 	scratch sync.Pool
@@ -56,6 +61,14 @@ type Dict struct {
 // newDict wraps a built core dictionary with its query source and pool.
 func newDict(inner *core.Dict, seed uint64, src rng.Source) *Dict {
 	d := &Dict{inner: inner, seed: seed, src: src}
+	d.scratch.New = func() any { return new(core.QueryScratch) }
+	return d
+}
+
+// newShardDict wraps a built sharded composite with its query source and
+// pool (the pool serves the telemetry layer's traced queries).
+func newShardDict(sharded *shard.Dict, seed uint64, src rng.Source) *Dict {
+	d := &Dict{sharded: sharded, seed: seed, src: src}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
 	return d
 }
@@ -82,6 +95,7 @@ type options struct {
 	src    rng.Source
 	params core.Params
 	shards int
+	telem  *telemetry.Config // nil: telemetry off
 }
 
 // Option configures New.
@@ -212,13 +226,21 @@ func New(keys []uint64, opts ...Option) (*Dict, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Dict{sharded: sharded, seed: cfg.o.seed, src: cfg.o.querySource()}, nil
+		d := newShardDict(sharded, cfg.o.seed, cfg.o.querySource())
+		if cfg.o.telem != nil {
+			d.installTelemetry(*cfg.o.telem)
+		}
+		return d, nil
 	}
 	inner, err := core.Build(keys, cfg.o.params, cfg.o.seed)
 	if err != nil {
 		return nil, err
 	}
-	return newDict(inner, cfg.o.seed, cfg.o.querySource()), nil
+	d := newDict(inner, cfg.o.seed, cfg.o.querySource())
+	if cfg.o.telem != nil {
+		d.installTelemetry(*cfg.o.telem)
+	}
+	return d, nil
 }
 
 // querySource resolves the configured query source, defaulting to a
@@ -247,6 +269,9 @@ func (d *Dict) Contains(x uint64) bool {
 // performs no steady-state heap allocation (query working memory comes from
 // an internal pool).
 func (d *Dict) Lookup(x uint64) (bool, error) {
+	if d.tel != nil {
+		return d.lookupTelemetry(x)
+	}
 	if d.sharded != nil {
 		return d.sharded.Contains(x, d.src)
 	}
@@ -263,6 +288,17 @@ func (d *Dict) Lookup(x uint64) (bool, error) {
 // never errors. On a sharded dictionary the batch is grouped by shard and
 // the groups are answered concurrently (see WithShards).
 func (d *Dict) ContainsBatch(keys []uint64, out []bool) error {
+	if d.tel != nil {
+		start := time.Now()
+		err := d.containsBatch(keys, out)
+		observeBatch(d.tel, out, len(keys), err, start)
+		return err
+	}
+	return d.containsBatch(keys, out)
+}
+
+// containsBatch is the uninstrumented batch path.
+func (d *Dict) containsBatch(keys []uint64, out []bool) error {
 	if d.sharded != nil {
 		return d.sharded.ContainsBatchParallel(keys, out, d.src)
 	}
@@ -388,7 +424,11 @@ func Read(r io.Reader, opts ...Option) (*Dict, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDict(inner, cfg.o.seed, cfg.o.querySource()), nil
+	d := newDict(inner, cfg.o.seed, cfg.o.querySource())
+	if cfg.o.telem != nil {
+		d.installTelemetry(*cfg.o.telem)
+	}
+	return d, nil
 }
 
 // ContentionSummary computes the exact contention under uniform queries

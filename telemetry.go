@@ -1,0 +1,253 @@
+package lcds
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// TelemetryConfig configures the live observability layer (WithTelemetry):
+// probe sampling, query tracing, and snapshot shape. The zero value counts
+// every probe and traces nothing. See internal/telemetry for field docs.
+type TelemetryConfig = telemetry.Config
+
+// Telemetry is the live telemetry handle of a dictionary built with
+// WithTelemetry: Snapshot() for the runtime Φ̂ estimate, per-step probe
+// masses, latency histograms and per-shard rebuild metrics; Traces() for
+// the recent-query ring.
+type Telemetry = telemetry.Telemetry
+
+// TelemetrySnapshot is a point-in-time summary of the live telemetry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryHistogram is a log₂-bucket histogram snapshot (latency,
+// rebuild durations, writer pauses).
+type TelemetryHistogram = telemetry.HistogramSnapshot
+
+// QueryTrace is one sampled query in the trace ring.
+type QueryTrace = telemetry.QueryTrace
+
+// Tracer receives sampled query traces in place of the internal ring.
+type Tracer = telemetry.Tracer
+
+// TelemetryDrift is the live-vs-exact contention comparison
+// (TelemetryCompareExact): ratios of measured Φ̂ to the analytic Φ.
+type TelemetryDrift = telemetry.Drift
+
+// WithTelemetry enables the live observability layer on New, Read and
+// NewDynamic: runtime Φ̂ estimation on striped per-cell/per-step counters,
+// optional 1-in-k probe sampling, log₂ latency histograms, a trace ring of
+// recent queries, and (dynamic dictionaries) per-shard rebuild metrics.
+// Without this option no sink is installed and the query path performs zero
+// additional atomic writes and zero additional allocations.
+func WithTelemetry(cfg TelemetryConfig) Option {
+	return func(c *opterr) {
+		if cfg.Sample < 0 {
+			c.err = fmt.Errorf("lcds: telemetry sample %d must be ≥ 0", cfg.Sample)
+			return
+		}
+		cc := cfg
+		c.o.telem = &cc
+	}
+}
+
+// Telemetry returns the dictionary's live telemetry handle, or nil when it
+// was built without WithTelemetry.
+func (d *Dict) Telemetry() *Telemetry { return d.tel }
+
+// Telemetry returns the dictionary's live telemetry handle, or nil when it
+// was built without WithTelemetry.
+func (d *DynamicDict) Telemetry() *Telemetry { return d.tel }
+
+// TelemetryCompareExact diffs the live telemetry snapshot against the exact
+// offline contention analysis under uniform queries over keys (pass the
+// stored key set for the paper's uniform-positive distribution) — the
+// theory-vs-runtime self-check. It errors when the dictionary was built
+// without WithTelemetry or keys is empty.
+func (d *Dict) TelemetryCompareExact(keys []uint64) (TelemetryDrift, error) {
+	if d.tel == nil {
+		return TelemetryDrift{}, fmt.Errorf("lcds: telemetry is not enabled (use WithTelemetry)")
+	}
+	if len(keys) == 0 {
+		return TelemetryDrift{}, fmt.Errorf("lcds: telemetry comparison needs a non-empty key set")
+	}
+	q := dist.NewUniformSet(keys, "")
+	res, err := contention.Exact(d.structure(), q.Support())
+	if err != nil {
+		return TelemetryDrift{}, err
+	}
+	if d.sharded != nil {
+		res.StepMass = foldShardSteps(d.sharded, res.StepMass)
+	}
+	return d.tel.Snapshot().CompareExact(res), nil
+}
+
+// foldShardSteps converts an exact step-mass vector from the composite
+// ProbeSpec layout (disjoint step range per shard) to the time-aligned
+// layout the live counters use (all shards forward to step 1 + t, since
+// only one shard executes per query). Per-cell masses are unaffected by
+// the relabeling — shard cells only ever receive their own shard's steps —
+// so only the step-mass comparison needs this.
+func foldShardSteps(sd *shard.Dict, mass []float64) []float64 {
+	maxP := 0
+	for i := 0; i < sd.Shards(); i++ {
+		if mp := sd.Shard(i).MaxProbes(); mp > maxP {
+			maxP = mp
+		}
+	}
+	folded := make([]float64, 1+maxP)
+	if len(mass) > 0 {
+		folded[0] = mass[0] // routing step
+	}
+	for i := 0; i < sd.Shards(); i++ {
+		off := sd.StepOffset(i)
+		for t := 0; t < sd.Shard(i).MaxProbes() && off+t < len(mass); t++ {
+			folded[1+t] += mass[off+t]
+		}
+	}
+	return folded
+}
+
+// installTelemetry builds the telemetry instance for a freshly constructed
+// static dictionary and installs it as the table's probe sink (before the
+// dictionary is returned to the caller, so installation cannot race a
+// query). Sharded composites get per-shard cell ranges — plus the routing
+// row — as snapshot views.
+func (d *Dict) installTelemetry(cfg telemetry.Config) {
+	tab := d.structure().Table()
+	if d.sharded != nil && len(cfg.Ranges) == 0 {
+		cfg.Ranges = append(cfg.Ranges, telemetry.Range{Name: "route", Start: 0, Cells: d.sharded.RouteWidth()})
+		for i := 0; i < d.sharded.Shards(); i++ {
+			cfg.Ranges = append(cfg.Ranges, telemetry.Range{
+				Name:  fmt.Sprintf("shard%d", i),
+				Start: d.sharded.CellOffset(i),
+				Cells: d.sharded.Shard(i).Table().Size(),
+			})
+		}
+	}
+	d.tel = telemetry.New(cfg, tab.Size(), d.structure().N())
+	tab.SetSink(d.tel)
+}
+
+// keyHash obscures a queried key in traces (splitmix64 finalizer): traces
+// may be exposed on debug endpoints and must not leak the keyset.
+func keyHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lookupTelemetry is Lookup's instrumented twin: latency timing, outcome
+// counting, and — for the 1-in-TraceEvery sampled queries — per-step probe
+// capture into the trace ring. Probe counting itself happens in the table
+// sink, not here.
+func (d *Dict) lookupTelemetry(x uint64) (bool, error) {
+	start := time.Now()
+	traced := d.tel.ShouldTrace()
+	var (
+		ok    bool
+		err   error
+		shard int
+		cells []int32
+	)
+	switch {
+	case traced:
+		sc := d.scratch.Get().(*core.QueryScratch)
+		sc.StartCapture()
+		if d.sharded != nil {
+			ok, shard, err = d.sharded.ContainsTraced(x, d.src, sc)
+		} else {
+			ok, err = d.inner.ContainsScratch(x, d.src, sc)
+		}
+		log := sc.StopCapture()
+		cells = make([]int32, len(log))
+		copy(cells, log)
+		if d.sharded != nil {
+			// Translate shard-local cell indices into the composite table's
+			// flat space. (The routing probe itself is not captured.)
+			off := int32(d.sharded.CellOffset(shard))
+			for i := range cells {
+				if cells[i] >= 0 {
+					cells[i] += off
+				}
+			}
+		}
+		d.scratch.Put(sc)
+	case d.sharded != nil:
+		ok, err = d.sharded.Contains(x, d.src)
+	default:
+		sc := d.scratch.Get().(*core.QueryScratch)
+		ok, err = d.inner.ContainsScratch(x, d.src, sc)
+		d.scratch.Put(sc)
+	}
+	lat := time.Since(start).Nanoseconds()
+	d.tel.ObserveQuery(ok, err != nil, lat)
+	if traced {
+		d.tel.Emit(telemetry.QueryTrace{
+			KeyHash: keyHash(x), Shard: shard, Steps: len(cells), Cells: cells,
+			Found: ok, Err: err != nil, LatencyNs: lat, UnixNano: time.Now().UnixNano(),
+		})
+	}
+	return ok, err
+}
+
+// containsTelemetry is the DynamicDict analogue of lookupTelemetry. Dynamic
+// telemetry is cell-agnostic (tables are replaced every epoch), so traces
+// carry the static snapshot's local cell indices for context, not stable
+// composite addresses.
+func (d *DynamicDict) containsTelemetry(x uint64) (bool, error) {
+	start := time.Now()
+	traced := d.tel.ShouldTrace()
+	var (
+		ok    bool
+		err   error
+		shard int
+		cells []int32
+	)
+	if traced {
+		sc := d.scratch.Get().(*core.QueryScratch)
+		sc.StartCapture()
+		if d.sharded != nil {
+			ok, shard, err = d.sharded.ContainsTraced(x, d.src, sc)
+		} else {
+			ok, err = d.inner.ContainsScratch(x, d.src, sc)
+		}
+		log := sc.StopCapture()
+		cells = make([]int32, len(log))
+		copy(cells, log)
+		d.scratch.Put(sc)
+	} else if d.sharded != nil {
+		ok, err = d.sharded.Contains(x, d.src)
+	} else {
+		ok, err = d.inner.Contains(x, d.src)
+	}
+	lat := time.Since(start).Nanoseconds()
+	d.tel.ObserveQuery(ok, err != nil, lat)
+	if traced {
+		d.tel.Emit(telemetry.QueryTrace{
+			KeyHash: keyHash(x), Shard: shard, Steps: len(cells), Cells: cells,
+			Found: ok, Err: err != nil, LatencyNs: lat, UnixNano: time.Now().UnixNano(),
+		})
+	}
+	return ok, err
+}
+
+// observeBatch records one batch completion on the telemetry layer, counting
+// hits from the answered prefix.
+func observeBatch(tel *telemetry.Telemetry, out []bool, n int, err error, start time.Time) {
+	hits := 0
+	if err == nil {
+		for _, ok := range out[:n] {
+			if ok {
+				hits++
+			}
+		}
+	}
+	tel.ObserveBatch(n, hits, err != nil, time.Since(start).Nanoseconds())
+}

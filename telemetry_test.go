@@ -1,0 +1,412 @@
+package lcds
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryAcceptance is the PR's headline self-check: with telemetry
+// at sampling 1, the empirical maxΦ̂·n measured over ≥1e6 uniform queries on
+// an n=8192 core dictionary must match the exact offline analysis
+// (contention.Exact) within 5%.
+//
+// The workload drives every stored key the same number of times
+// (round-robin over the member set = the uniform-positive distribution
+// realized deterministically), so the per-cell counts concentrate on their
+// expectations instead of adding max-of-n-binomials extreme-value bias on
+// top of the estimate.
+func TestTelemetryAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-query acceptance drive skipped in -short")
+	}
+	const (
+		n      = 8192
+		passes = 128 // 128 × 8192 = 1,048,576 ≥ 1e6 queries
+	)
+	keys := testKeys(n, 20100613)
+	d, err := New(keys, WithSeed(20100613), WithTelemetry(TelemetryConfig{Sample: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, n)
+	for p := 0; p < passes; p++ {
+		if err := d.ContainsBatch(keys, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := d.Telemetry().Snapshot()
+	if snap.Queries != n*passes {
+		t.Fatalf("queries = %d, want %d", snap.Queries, n*passes)
+	}
+	drift, err := d.TelemetryCompareExact(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("maxΦ̂·n live %.4f exact %.4f (ratio %.4f); probes/query live %.3f exact %.3f; step-mass L∞ %.2e",
+		snap.MaxPhiN, drift.MaxPhiExact*n, drift.MaxPhiRatio, drift.ProbesLive, drift.ProbesExact, drift.StepMassMaxDiff)
+	if math.Abs(drift.MaxPhiRatio-1) > 0.05 {
+		t.Fatalf("empirical maxΦ̂·n = %.4f vs exact %.4f: off by %.1f%%, want ≤ 5%%",
+			snap.MaxPhiN, drift.MaxPhiExact*n, 100*math.Abs(drift.MaxPhiRatio-1))
+	}
+	if math.Abs(drift.ProbesRatio-1) > 0.05 {
+		t.Fatalf("probes/query live %.3f vs exact %.3f", drift.ProbesLive, drift.ProbesExact)
+	}
+}
+
+// TestTelemetryOffNoSink asserts the telemetry-off contract: no probe sink
+// is installed anywhere, so the query hot path performs zero additional
+// atomic writes (there is no counter to write) and Telemetry() is nil.
+// The zero-additional-allocations half is guarded by TestContainsZeroAlloc,
+// which runs against a telemetry-off dictionary.
+func TestTelemetryOffNoSink(t *testing.T) {
+	keys := testKeys(512, 21)
+	d, err := New(keys, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Telemetry() != nil {
+		t.Fatal("Telemetry() non-nil without WithTelemetry")
+	}
+	if d.structure().Table().Sink() != nil {
+		t.Fatal("probe sink installed without WithTelemetry")
+	}
+	sharded, err := New(keys, WithSeed(21), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.structure().Table().Sink() != nil {
+		t.Fatal("sharded probe sink installed without WithTelemetry")
+	}
+	dyn, err := NewDynamic(keys, 0.25, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Telemetry() != nil {
+		t.Fatal("dynamic Telemetry() non-nil without WithTelemetry")
+	}
+	if dyn.inner.BaseTable().Sink() != nil || dyn.inner.BufferTable().Sink() != nil {
+		t.Fatal("dynamic probe sink installed without WithTelemetry")
+	}
+	if _, err := d.TelemetryCompareExact(keys); err == nil {
+		t.Fatal("TelemetryCompareExact succeeded without telemetry")
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	keys := testKeys(1024, 22)
+	d, err := New(keys[:512], WithSeed(22), WithTelemetry(TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:100] {
+		if !d.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	for _, k := range keys[512:612] {
+		if d.Contains(k) {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+	s := d.Telemetry().Snapshot()
+	if s.Queries != 200 || s.Hits != 100 || s.Misses != 100 || s.Errors != 0 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.Probes == 0 || s.ProbesPerQuery < 1 {
+		t.Fatalf("no probes recorded: %+v", s)
+	}
+	if s.Latency.Count != 200 {
+		t.Fatalf("latency count = %d, want 200", s.Latency.Count)
+	}
+	if s.Cells != d.SpaceCells() || s.N != 512 {
+		t.Fatalf("shape: cells %d (want %d) n %d", s.Cells, d.SpaceCells(), s.N)
+	}
+	// Every query executes step 0 (a coefficient probe) exactly once.
+	if len(s.StepMass) == 0 || math.Abs(s.StepMass[0]-1) > 1e-9 {
+		t.Fatalf("StepMass = %v", s.StepMass)
+	}
+	if len(s.TopCells) == 0 {
+		t.Fatal("no hot cells reported")
+	}
+	// Batch queries land in the same counters via the batch histogram.
+	out := make([]bool, 512)
+	if err := d.ContainsBatch(keys[:512], out); err != nil {
+		t.Fatal(err)
+	}
+	s = d.Telemetry().Snapshot()
+	if s.Queries != 712 || s.BatchLatency.Count != 1 {
+		t.Fatalf("after batch: queries %d batches %d", s.Queries, s.BatchLatency.Count)
+	}
+}
+
+func TestTelemetryTraces(t *testing.T) {
+	keys := testKeys(600, 23)
+	d, err := New(keys, WithSeed(23), WithTelemetry(TelemetryConfig{TraceEvery: 1, TraceBuffer: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:20] {
+		if !d.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	traces := d.Telemetry().Traces()
+	if len(traces) != 16 {
+		t.Fatalf("ring holds %d traces, want 16 (buffer cap)", len(traces))
+	}
+	size := d.SpaceCells()
+	for _, tr := range traces {
+		if !tr.Found || tr.Err {
+			t.Fatalf("trace outcome: %+v", tr)
+		}
+		if tr.Steps != len(tr.Cells) || tr.Steps != d.MaxProbes() {
+			t.Fatalf("trace steps %d cells %d maxprobes %d", tr.Steps, len(tr.Cells), d.MaxProbes())
+		}
+		for s, c := range tr.Cells {
+			if c < 0 || int(c) >= size {
+				t.Fatalf("step %d probes cell %d outside [0, %d)", s, c, size)
+			}
+		}
+		if tr.LatencyNs < 0 || tr.KeyHash == 0 {
+			t.Fatalf("trace metadata: %+v", tr)
+		}
+	}
+}
+
+func TestTelemetrySharded(t *testing.T) {
+	keys := testKeys(4096, 24)
+	d, err := New(keys, WithSeed(24), WithShards(4), WithTelemetry(TelemetryConfig{TraceEvery: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:200] {
+		if !d.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	s := d.Telemetry().Snapshot()
+	if len(s.Ranges) != 5 {
+		t.Fatalf("ranges = %+v, want route + 4 shards", s.Ranges)
+	}
+	if s.Ranges[0].Name != "route" || s.Ranges[0].Probes == 0 {
+		t.Fatalf("route range = %+v", s.Ranges[0])
+	}
+	share := 0.0
+	for _, r := range s.Ranges {
+		share += r.Share
+	}
+	// The ranges tile the whole composite table, so their shares sum to 1.
+	if math.Abs(share-1) > 1e-9 {
+		t.Fatalf("range shares sum to %v", share)
+	}
+	// Each traced query's captured cells must lie inside the range of the
+	// shard that answered it.
+	for _, tr := range d.Telemetry().Traces() {
+		lo := d.sharded.CellOffset(tr.Shard)
+		hi := lo + d.sharded.Shard(tr.Shard).Table().Size()
+		for _, c := range tr.Cells {
+			if int(c) < lo || int(c) >= hi {
+				t.Fatalf("shard %d trace probes cell %d outside [%d, %d)", tr.Shard, c, lo, hi)
+			}
+		}
+	}
+	// The sharded live estimate matches its own exact analysis (loose
+	// bound: only 200 queries).
+	if _, err := d.TelemetryCompareExact(keys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryShardedStepMass pins the step-layout fold: the composite
+// ProbeSpec gives each shard a disjoint step range while the live counters
+// time-align every shard at step 1, so TelemetryCompareExact must fold the
+// exact vector before diffing. Probe counts and step masses are
+// deterministic per query, so both comparisons are exact at any pass count.
+func TestTelemetryShardedStepMass(t *testing.T) {
+	keys := testKeys(1024, 31)
+	d, err := New(keys, WithSeed(31), WithShards(4), WithTelemetry(TelemetryConfig{Sample: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 8; pass++ {
+		for _, k := range keys {
+			if !d.Contains(k) {
+				t.Fatalf("lost key %d", k)
+			}
+		}
+	}
+	dr, err := d.TelemetryCompareExact(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.StepMassMaxDiff > 1e-12 {
+		t.Fatalf("sharded step-mass L∞ = %g, want 0 after folding", dr.StepMassMaxDiff)
+	}
+	if math.Abs(dr.ProbesRatio-1) > 1e-9 {
+		t.Fatalf("sharded probes ratio = %v, want exactly 1", dr.ProbesRatio)
+	}
+}
+
+func TestTelemetryDynamic(t *testing.T) {
+	keys := testKeys(3000, 25)
+	d, err := NewDynamic(keys[:2000], 0.1, WithSeed(25), WithTelemetry(TelemetryConfig{TraceEvery: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[2000:2500] {
+		if _, err := d.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Quiesce()
+	hits := 0
+	for _, k := range keys[:2500] {
+		ok, err := d.Contains(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			hits++
+		}
+	}
+	if hits != 2500 {
+		t.Fatalf("lost %d keys", 2500-hits)
+	}
+	s := d.Telemetry().Snapshot()
+	if s.Queries != 2500 || s.Hits != 2500 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.Cells != 0 || s.MaxPhi != 0 {
+		t.Fatalf("dynamic telemetry should be cell-agnostic: %+v", s)
+	}
+	if s.Probes == 0 {
+		t.Fatal("no probes recorded through the epoch tables")
+	}
+	if len(s.Dynamic) != 1 {
+		t.Fatalf("dynamic shards = %d, want 1", len(s.Dynamic))
+	}
+	dm := s.Dynamic[0]
+	// 500 inserts at ε=0.1 over ~2000 keys: several rebuilds beyond the
+	// initial construction.
+	if dm.Rebuilds < 2 {
+		t.Fatalf("rebuilds = %d, want ≥ 2", dm.Rebuilds)
+	}
+	if dm.RebuildNs.Count != dm.Rebuilds {
+		t.Fatalf("rebuild histogram count %d != rebuilds %d", dm.RebuildNs.Count, dm.Rebuilds)
+	}
+	if dm.DeltaHighWater == 0 {
+		t.Fatal("delta high-water never moved despite 500 buffered inserts")
+	}
+	if len(d.Telemetry().Traces()) == 0 {
+		t.Fatal("no traces captured")
+	}
+
+	// Sharded dynamic: per-shard metrics slots.
+	ds, err := NewDynamic(keys[:2000], 0.25, WithSeed(25), WithShards(2), WithTelemetry(TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[2000:2200] {
+		if _, err := ds.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds.Quiesce()
+	if ok, err := ds.Contains(keys[0]); err != nil || !ok {
+		t.Fatalf("sharded dynamic lost a key: %v %v", ok, err)
+	}
+	ss := ds.Telemetry().Snapshot()
+	if len(ss.Dynamic) != 2 {
+		t.Fatalf("sharded dynamic metrics = %+v", ss.Dynamic)
+	}
+	for i, dm := range ss.Dynamic {
+		if dm.Rebuilds < 1 {
+			t.Fatalf("shard %d rebuilds = %d, want ≥ 1 (initial build)", i, dm.Rebuilds)
+		}
+	}
+}
+
+// TestTelemetryRead: a deserialized dictionary accepts WithTelemetry like a
+// built one.
+func TestTelemetryRead(t *testing.T) {
+	keys := testKeys(400, 26)
+	d, err := New(keys, WithSeed(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Read(&buf, WithSeed(26), WithTelemetry(TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:50] {
+		if !rd.Contains(k) {
+			t.Fatalf("lost key %d after round-trip", k)
+		}
+	}
+	if s := rd.Telemetry().Snapshot(); s.Queries != 50 || s.Probes == 0 {
+		t.Fatalf("telemetry after Read: %+v", s)
+	}
+}
+
+func TestWithTelemetryValidation(t *testing.T) {
+	if _, err := New(testKeys(16, 27), WithTelemetry(TelemetryConfig{Sample: -1})); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+}
+
+// TestTelemetrySampledEstimate: with 1-in-k sampling the scaled estimates
+// stay close to the sampling-off truth.
+func TestTelemetrySampledEstimate(t *testing.T) {
+	keys := testKeys(2048, 28)
+	exact, err := New(keys, WithSeed(28), WithTelemetry(TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := New(keys, WithSeed(28), WithTelemetry(TelemetryConfig{Sample: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, len(keys))
+	for p := 0; p < 8; p++ {
+		if err := exact.ContainsBatch(keys, out); err != nil {
+			t.Fatal(err)
+		}
+		if err := sampled.ContainsBatch(keys, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se, ss := exact.Telemetry().Snapshot(), sampled.Telemetry().Snapshot()
+	if ss.Sample != 8 {
+		t.Fatalf("Sample = %d, want 8", ss.Sample)
+	}
+	if ratio := float64(ss.Probes) / float64(se.Probes); math.Abs(ratio-1) > 0.05 {
+		t.Fatalf("sampled probe estimate off by %.1f%% (sampled %d, exact %d)",
+			100*math.Abs(ratio-1), ss.Probes, se.Probes)
+	}
+}
+
+// TestTelemetryUniformSupport pins the acceptance workload's semantics: the
+// round-robin drive realizes dist.NewUniformSet's support exactly, so the
+// comparison in TestTelemetryAcceptance diffs like against like.
+func TestTelemetryUniformSupport(t *testing.T) {
+	keys := testKeys(64, 29)
+	q := dist.NewUniformSet(keys, "")
+	sup := q.Support()
+	if len(sup) != len(keys) {
+		t.Fatalf("support size %d, want %d", len(sup), len(keys))
+	}
+	for _, w := range sup {
+		if math.Abs(w.P-1.0/float64(len(keys))) > 1e-15 {
+			t.Fatalf("support weight %v, want uniform %v", w.P, 1.0/float64(len(keys)))
+		}
+	}
+	_ = telemetry.Config{} // facade aliases stay interchangeable with the internal types
+}

@@ -1,0 +1,44 @@
+//go:build !race
+
+package lcds
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// assertPooledPathsZeroAlloc asserts strict zero allocations on the pooled
+// facade paths (Contains with pooled scratch + sharded source, and
+// ContainsBatch). GC is paused while counting so pool refills after a
+// collection don't land in the measurement. The race build replaces this
+// with a correctness-only pass — see zeroalloc_race_test.go.
+func assertPooledPathsZeroAlloc(t *testing.T, d *Dict, keys []uint64) {
+	gc := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gc)
+
+	// Facade single-key path (pooled scratch + sharded source).
+	d.Contains(keys[0])
+	i := 0
+	if allocs := testing.AllocsPerRun(400, func() {
+		i++
+		if !d.Contains(keys[i%len(keys)]) {
+			t.Error("lost key")
+		}
+	}); allocs != 0 {
+		t.Fatalf("facade Contains: %v allocs/op, want 0", allocs)
+	}
+
+	// Facade batch path.
+	batch := keys[:256]
+	out := make([]bool, len(batch))
+	if err := d.ContainsBatch(batch, out); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := d.ContainsBatch(batch, out); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("facade ContainsBatch: %v allocs per batch, want 0", allocs)
+	}
+}
