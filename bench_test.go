@@ -289,6 +289,17 @@ func BenchmarkContainsTelemetrySampled(b *testing.B) {
 	benchContainsTelemetry(b, WithTelemetry(TelemetryConfig{Sample: 64}))
 }
 
+// BenchmarkContainsTelemetryAdaptive measures the controller-tuned path at
+// the same effective rate as BenchmarkContainsTelemetrySampled (bounds pin
+// k = 64): the extra cost over fixed-k sampling is one atomic factor load
+// per probe plus the pre-scaled add on kept probes, and must stay within
+// noise of the fixed-k figure at 0 allocs/op.
+func BenchmarkContainsTelemetryAdaptive(b *testing.B) {
+	benchContainsTelemetry(b, WithTelemetry(TelemetryConfig{
+		Adaptive: &TelemetryAdaptiveConfig{TargetProbesPerSec: 1, MinSample: 64, MaxSample: 64},
+	}))
+}
+
 // BenchmarkBuild measures construction throughput at the bench size.
 func BenchmarkBuild(b *testing.B) {
 	keys := benchKeys(b)

@@ -7,15 +7,23 @@
 //
 //	lcds-monitor                        # n=8192 static dict on :8080
 //	lcds-monitor -shards 4 -sample 16   # sharded, 1-in-16 probe sampling
+//	lcds-monitor -dist zipf:1.2         # skewed query distribution
+//	lcds-monitor -adaptive 500000       # self-tuning probe sampling
 //	lcds-monitor -dynamic -churn 64     # dynamic dict with update churn
 //	lcds-monitor -selfcheck             # start, drive, scrape, verify, exit
 //
-// The workload drives Contains round-robin over the member keys — the
-// deterministic realization of the uniform positive distribution — so the
-// headline gauge lcds_max_phi_n converges to the paper's maxΦ·n (1.00 for
-// the core dictionary) and /debug/telemetry's drift block stays comparable
-// to contention.Exact. -miss-frac mixes in negative lookups at the cost of
-// that comparability.
+// The workload drives Contains over a deterministic weighted schedule
+// realizing the -dist distribution (uniform by default — the round-robin
+// pass of old), and the /debug/telemetry drift block compares the live Φ̂
+// against contention.Exact under the schedule's realized weights, so the
+// headline gauge lcds_max_phi_n stays comparable to the paper's maxΦ·n
+// under any supported skew. -miss-frac mixes in negative lookups at the
+// cost of that comparability.
+//
+// -adaptive budgets the recorded (post-sampling) probe rate: a feedback
+// controller doubles or halves the sampling factor k (gauge
+// lcds_sampling_k) to hold the budget, so the monitor can stay attached to
+// any traffic level without hand-tuning -sample.
 package main
 
 import (
@@ -29,13 +37,16 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/rng"
+	"repro/internal/workload"
 
 	lcds "repro"
 )
@@ -63,7 +74,32 @@ type server struct {
 	d      dict
 	static *lcds.Dict // nil in -dynamic mode (no exact comparison there)
 	keys   []uint64
-	drift  atomic.Pointer[driftState]
+	// drive is the weighted query schedule (-dist); support is its realized
+	// weighted support, the distribution the exact comparison runs under.
+	// Both are nil for servers that only answer ad-hoc queries (tests).
+	drive   *workload.WeightedDrive
+	support []lcds.WeightedKey
+	drift   atomic.Pointer[driftState]
+}
+
+// parseDist resolves the -dist flag to a weighted support over the member
+// keys: "uniform", "zipf:<s>" (Zipf with exponent s over the keys in
+// generation order), or "point" (the T3 adversarial distribution — every
+// query hits the first key).
+func parseDist(name string, keys []uint64) ([]dist.Weighted, error) {
+	switch {
+	case name == "uniform":
+		return dist.NewUniformSet(keys, "").Support(), nil
+	case strings.HasPrefix(name, "zipf:"):
+		s, err := strconv.ParseFloat(strings.TrimPrefix(name, "zipf:"), 64)
+		if err != nil || s < 0 {
+			return nil, fmt.Errorf("bad zipf exponent in -dist %q", name)
+		}
+		return dist.NewZipf(keys, s).Support(), nil
+	case name == "point":
+		return dist.PointMass{Key: keys[0]}.Support(), nil
+	}
+	return nil, fmt.Errorf("unknown -dist %q (want uniform, zipf:<s>, or point)", name)
 }
 
 func main() {
@@ -74,6 +110,8 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0.1, "dynamic buffer fraction")
 	seed := flag.Uint64("seed", 1, "construction seed")
 	sample := flag.Int("sample", 1, "probe sampling rate: count 1 in k probes (rounded to a power of two)")
+	adaptive := flag.Float64("adaptive", 0, "self-tune the sampling factor toward this recorded-probe rate per second (0 = fixed -sample)")
+	distName := flag.String("dist", "uniform", "query distribution: uniform, zipf:<s>, or point")
 	traceEvery := flag.Int("trace-every", 1024, "capture a full probe trace for 1 in k queries (0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 256, "trace ring-buffer capacity")
 	topK := flag.Int("topk", 10, "hottest cells to report")
@@ -91,13 +129,27 @@ func main() {
 		TraceBuffer: *traceBuffer,
 		TopK:        *topK,
 	}
+	if *adaptive > 0 {
+		cfg.Adaptive = &lcds.TelemetryAdaptiveConfig{TargetProbesPerSec: *adaptive}
+	}
 	keys := genKeys(*n, *seed)
 	opts := []lcds.Option{lcds.WithSeed(*seed), lcds.WithTelemetry(cfg)}
 	if *shards > 1 {
 		opts = append(opts, lcds.WithShards(*shards))
 	}
 
-	srv := &server{keys: keys}
+	support, err := parseDist(*distName, keys)
+	if err != nil {
+		fatal(err)
+	}
+	drive, err := workload.NewWeightedDrive(support, len(keys), *seed^0xd157)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &server{keys: keys, drive: drive}
+	for _, w := range drive.Realized() {
+		srv.support = append(srv.support, lcds.WeightedKey{Key: w.Key, P: w.P})
+	}
 	if *dynamic {
 		dd, err := lcds.NewDynamic(keys, *epsilon, opts...)
 		if err != nil {
@@ -142,10 +194,13 @@ func main() {
 	}
 
 	for w := 0; w < *workers; w++ {
-		go srv.drive(ctx, w, *missFrac, *seed)
+		go srv.driveLoop(ctx, w, *missFrac, *seed)
 	}
 	if srv.static != nil && *missFrac == 0 {
 		go srv.driftLoop(ctx, *driftEvery)
+	}
+	if *adaptive > 0 {
+		go srv.adaptLoop(ctx)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -181,20 +236,36 @@ func genKeys(n int, seed uint64) []uint64 {
 	return keys
 }
 
-// drive issues queries round-robin over the member keys (offset per worker
-// so the aggregate stays uniform), mixing in misses at missFrac.
-func (s *server) drive(ctx context.Context, worker int, missFrac float64, seed uint64) {
+// driveLoop issues queries from the shared weighted schedule (workers claim
+// schedule positions atomically, so the aggregate realizes the -dist
+// frequencies exactly per pass), mixing in misses at missFrac.
+func (s *server) driveLoop(ctx context.Context, worker int, missFrac float64, seed uint64) {
 	r := rng.New(seed ^ (0x9e3779b97f4a7c15 * uint64(worker+1)))
-	n := len(s.keys)
-	i := worker * (n / 4)
 	for ctx.Err() == nil {
 		for batch := 0; batch < 4096; batch++ {
 			if missFrac > 0 && r.Float64() < missFrac {
 				s.d.Contains(r.Uint64n(lcds.MaxKey))
 			} else {
-				s.d.Contains(s.keys[i%n])
-				i++
+				s.d.Contains(s.drive.Next())
 			}
+		}
+	}
+}
+
+// adaptLoop runs the sampling controller at a 1 s cadence, feeding it the
+// measured elapsed time so wall-clock hiccups don't skew the rate estimate.
+func (s *server) adaptLoop(ctx context.Context) {
+	tel := s.d.Telemetry()
+	last := time.Now()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			tel.AdaptTick(now.Sub(last))
+			last = now
 		}
 	}
 }
@@ -230,7 +301,15 @@ func (s *server) computeDrift() {
 	if s.static == nil {
 		return
 	}
-	dr, err := s.static.TelemetryCompareExact(s.keys)
+	var dr lcds.TelemetryDrift
+	var err error
+	if s.support != nil {
+		// Compare under the schedule's realized weights so the drift reads
+		// 1.0 under any -dist skew, not just uniform.
+		dr, err = s.static.TelemetryCompareExactWeighted(s.support)
+	} else {
+		dr, err = s.static.TelemetryCompareExact(s.keys)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcds-monitor: drift:", err)
 		return
@@ -317,12 +396,40 @@ func runSelfcheck(s *server, mux *http.ServeMux) error {
 	// overshoot probability is negligible for every n ≥ 1024 (and matches
 	// the facade acceptance test's query budget at n = 8192).
 	const passes = 128
-	for pass := 0; pass < passes; pass++ {
-		for _, k := range s.keys {
+	pass := func() error {
+		for range s.keys {
+			k := s.drive.Next()
 			if !s.d.Contains(k) && s.static != nil {
 				return fmt.Errorf("selfcheck: lost key %d", k)
 			}
 		}
+		return nil
+	}
+	for p := 0; p < passes; p++ {
+		if err := pass(); err != nil {
+			return err
+		}
+	}
+	if tel := s.d.Telemetry(); tel.Adaptive() {
+		// Deterministic controller convergence: feed one schedule pass per
+		// simulated second and require the sampling factor to hold steady for
+		// three consecutive ticks. The offered rate is constant, so the
+		// hysteresis deadband guarantees a fixed point.
+		k, steady := tel.AdaptTick(time.Second), 1
+		for tick := 0; tick < 16 && steady < 3; tick++ {
+			if err := pass(); err != nil {
+				return err
+			}
+			if next := tel.AdaptTick(time.Second); next == k {
+				steady++
+			} else {
+				k, steady = next, 1
+			}
+		}
+		if steady < 3 {
+			return fmt.Errorf("selfcheck: adaptive sampling factor never settled (last k=%d)", k)
+		}
+		fmt.Printf("# selfcheck: adaptive sampling converged at k=%d\n", k)
 	}
 	s.computeDrift()
 
@@ -354,11 +461,24 @@ func runSelfcheck(s *server, mux *http.ServeMux) error {
 		if st == nil {
 			return fmt.Errorf("selfcheck: drift never computed")
 		}
-		if r := st.Drift.MaxPhiRatio; r < 0.95 || r > 1.05 {
-			return fmt.Errorf("selfcheck: maxPhi live/exact ratio %.4f outside 5%%", r)
+		if s.d.Telemetry().Adaptive() {
+			// The convergence phase ran some passes at a transiently elevated
+			// k, and a max-over-cells statistic is biased upward by scaled
+			// sampling noise that never washes out of the counters. The
+			// unbiasedness contract for the controller is the sum statistic:
+			// total probes per query must still match the exact expectation.
+			if r := st.Drift.ProbesRatio; r < 0.95 || r > 1.05 {
+				return fmt.Errorf("selfcheck: adaptive probes/query live/exact ratio %.4f outside 5%%", r)
+			}
+			fmt.Printf("# selfcheck OK: probes/query live %.4f exact %.4f (ratio %.4f)\n",
+				st.Drift.ProbesLive, st.Drift.ProbesExact, st.Drift.ProbesRatio)
+		} else {
+			if r := st.Drift.MaxPhiRatio; r < 0.95 || r > 1.05 {
+				return fmt.Errorf("selfcheck: maxPhi live/exact ratio %.4f outside 5%%", r)
+			}
+			fmt.Printf("# selfcheck OK: maxPhi*n live %.4f exact %.4f (ratio %.4f)\n",
+				st.Drift.MaxPhiLive*float64(len(s.keys)), st.Drift.MaxPhiExact*float64(len(s.keys)), st.Drift.MaxPhiRatio)
 		}
-		fmt.Printf("# selfcheck OK: maxPhi*n live %.4f exact %.4f (ratio %.4f)\n",
-			st.Drift.MaxPhiLive*float64(len(s.keys)), st.Drift.MaxPhiExact*float64(len(s.keys)), st.Drift.MaxPhiRatio)
 	} else {
 		fmt.Println("# selfcheck OK (dynamic: no exact comparison)")
 	}

@@ -2,10 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/workload"
 
 	lcds "repro"
 )
@@ -111,5 +115,103 @@ func TestDynamicExposition(t *testing.T) {
 	}
 	if strings.Contains(body, "lcds_rebuilds_total{shard=\"0\"} 0") {
 		t.Error("rebuild counter still zero after forced rebuilds")
+	}
+}
+
+// TestParseDist pins the -dist flag grammar and the resulting supports.
+func TestParseDist(t *testing.T) {
+	keys := genKeys(64, 3)
+	uni, err := parseDist("uniform", keys)
+	if err != nil || len(uni) != len(keys) {
+		t.Fatalf("uniform: %v (%d weights)", err, len(uni))
+	}
+	z, err := parseDist("zipf:1.2", keys)
+	if err != nil || len(z) != len(keys) {
+		t.Fatalf("zipf:1.2: %v", err)
+	}
+	if z[0].P <= z[len(z)-1].P {
+		t.Fatalf("zipf support not skewed: head %v tail %v", z[0].P, z[len(z)-1].P)
+	}
+	p, err := parseDist("point", keys)
+	if err != nil || len(p) != 1 || p[0].Key != keys[0] || p[0].P != 1 {
+		t.Fatalf("point: %v %v", err, p)
+	}
+	for _, bad := range []string{"zipf", "zipf:x", "zipf:-1", "hot", ""} {
+		if _, err := parseDist(bad, keys); err == nil {
+			t.Errorf("-dist %q accepted", bad)
+		}
+	}
+}
+
+// TestWeightedDriftExposition drives a skewed schedule and checks the drift
+// block — computed under the schedule's realized weights — reads ≈ 1, and
+// that the lcds_sampling_k gauge appears in the exposition.
+func TestWeightedDriftExposition(t *testing.T) {
+	const n, passes = 1024, 16
+	s := newTestServer(t, n)
+	support, err := parseDist("zipf:1.2", s.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.drive, err = workload.NewWeightedDrive(support, n, 7^0xd157)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range s.drive.Realized() {
+		s.support = append(s.support, lcds.WeightedKey{Key: w.Key, P: w.P})
+	}
+	for i := 0; i < passes*n; i++ {
+		s.d.Contains(s.drive.Next())
+	}
+	s.computeDrift()
+	st := s.drift.Load()
+	if st == nil {
+		t.Fatal("drift not computed")
+	}
+	// newTestServer's uniform warm pass plus the zipf passes: the aggregate
+	// realized distribution is not exactly the schedule's, so allow the warm
+	// pass's 1/(passes+1) dilution on top of the 5% tolerance.
+	if math.Abs(st.Drift.MaxPhiRatio-1) > 0.15 {
+		t.Fatalf("skewed drift ratio %.4f far from 1", st.Drift.MaxPhiRatio)
+	}
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "lcds_sampling_k 1") {
+		t.Error("lcds_sampling_k gauge missing or wrong")
+	}
+	if !strings.Contains(body, "lcds_sampling_adaptive 0") {
+		t.Error("lcds_sampling_adaptive gauge missing for fixed-k config")
+	}
+}
+
+// TestAdaptiveExposition checks that a controller-tuned server exposes the
+// retuned factor through lcds_sampling_k.
+func TestAdaptiveExposition(t *testing.T) {
+	keys := genKeys(512, 11)
+	d, err := lcds.New(keys, lcds.WithSeed(11), lcds.WithTelemetry(lcds.TelemetryConfig{
+		Adaptive: &lcds.TelemetryAdaptiveConfig{TargetProbesPerSec: 100},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{d: d, static: d, keys: keys}
+	for _, k := range keys {
+		if !d.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	k := d.Telemetry().AdaptTick(time.Second)
+	if k <= 1 {
+		t.Fatalf("controller did not raise k under load (k=%d)", k)
+	}
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "lcds_sampling_k "+strconv.Itoa(k)) {
+		t.Errorf("lcds_sampling_k does not report the tuned factor %d", k)
+	}
+	if !strings.Contains(body, "lcds_sampling_adaptive 1") {
+		t.Error("lcds_sampling_adaptive gauge not set")
 	}
 }

@@ -21,6 +21,7 @@ var RequiredMetrics = []string{
 	"lcds_max_phi_n",
 	"lcds_step_mass",
 	"lcds_sample",
+	"lcds_sampling_k",
 	"lcds_cells",
 	"lcds_keys",
 	"lcds_uptime_seconds",
@@ -50,6 +51,12 @@ func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
 	gauge("lcds_max_phi_n", "max_j phi(j) * n, the paper's absolute contention headline.", s.MaxPhiN)
 	gauge("lcds_max_phi_cell", "Flat index of the hottest cell.", float64(s.MaxPhiCell))
 	gauge("lcds_sample", "Probe sampling rate (1 = every probe counted).", float64(s.Sample))
+	gauge("lcds_sampling_k", "Sampling factor k currently in force (controller-tuned when lcds_sampling_adaptive is 1).", float64(s.Sample))
+	adaptiveVal := 0.0
+	if s.Adaptive {
+		adaptiveVal = 1
+	}
+	gauge("lcds_sampling_adaptive", "1 when the sampling factor is tuned by the adaptive controller.", adaptiveVal)
 	gauge("lcds_cells", "Cell-probe table size s.", float64(s.Cells))
 	gauge("lcds_keys", "Member key count n.", float64(s.N))
 	gauge("lcds_uptime_seconds", "Seconds since telemetry was attached.", s.UptimeSeconds)

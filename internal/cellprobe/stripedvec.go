@@ -102,6 +102,14 @@ func (v *StripedVector) AddStripe(stripe uint64, i int) {
 	v.stripes[stripe&v.mask][vecPad+i].Add(1)
 }
 
+// AddStripeN adds n to counter i on the given stripe. The adaptive telemetry
+// sampler records each kept probe pre-scaled by its sampling factor at
+// record time, which keeps the accumulated estimates unbiased across factor
+// changes without rewriting history.
+func (v *StripedVector) AddStripeN(stripe uint64, i int, n uint64) {
+	v.stripes[stripe&v.mask][vecPad+i].Add(n)
+}
+
 // Sum returns the total of counter i across all stripes.
 func (v *StripedVector) Sum(i int) uint64 {
 	var total uint64

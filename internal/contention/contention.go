@@ -57,6 +57,21 @@ func Exact(st Structure, support []dist.Weighted) (ExactResult, error) {
 	return ExactWorkers(st, support, 0)
 }
 
+// NormalizeSupport validates a caller-supplied weighted support and returns
+// it merged (duplicate keys summed), normalized to total mass 1, and sorted
+// by key — the form Exact assumes. Zero-weight points are dropped. It
+// rejects empty supports, non-finite or negative weights, and zero total
+// mass. Callers passing distribution supports from outside the dist package
+// (the facade's weighted telemetry comparison) sanitize through this before
+// analysis.
+func NormalizeSupport(support []dist.Weighted) ([]dist.Weighted, error) {
+	set, err := dist.NewWeightedSet(support, "")
+	if err != nil {
+		return nil, fmt.Errorf("contention: %w", err)
+	}
+	return set.Support(), nil
+}
+
 // ExactWorkers is Exact with an explicit worker count; workers <= 0 selects
 // GOMAXPROCS and workers == 1 is the serial reference path. Parallelism
 // changes no float: per-key specs carry no floating-point state, each probe

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWeightedSetMergesAndNormalizes(t *testing.T) {
+	w, err := NewWeightedSet([]Weighted{
+		{Key: 5, P: 1},
+		{Key: 3, P: 2},
+		{Key: 5, P: 1}, // duplicate merges with the first
+		{Key: 9, P: 0}, // zero weight drops
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("support size %d, want 2", w.Len())
+	}
+	sup := w.Support()
+	want := map[uint64]float64{3: 0.5, 5: 0.5}
+	total := 0.0
+	for _, p := range sup {
+		if math.Abs(p.P-want[p.Key]) > 1e-12 {
+			t.Errorf("key %d weight %v, want %v", p.Key, p.P, want[p.Key])
+		}
+		total += p.P
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("support mass %v, want 1", total)
+	}
+	// Keys ascending.
+	if sup[0].Key != 3 || sup[1].Key != 5 {
+		t.Errorf("support not key-sorted: %v", sup)
+	}
+}
+
+func TestWeightedSetRejectsBadWeights(t *testing.T) {
+	cases := []struct {
+		name    string
+		support []Weighted
+	}{
+		{"empty", nil},
+		{"negative", []Weighted{{Key: 1, P: -0.5}}},
+		{"nan", []Weighted{{Key: 1, P: math.NaN()}}},
+		{"inf", []Weighted{{Key: 1, P: math.Inf(1)}}},
+		{"zero total", []Weighted{{Key: 1, P: 0}, {Key: 2, P: 0}}},
+	}
+	for _, c := range cases {
+		if _, err := NewWeightedSet(c.support, ""); err == nil {
+			t.Errorf("%s support accepted", c.name)
+		}
+	}
+}
+
+func TestWeightedSetSampleFrequencies(t *testing.T) {
+	w, err := NewWeightedSet([]Weighted{
+		{Key: 1, P: 0.5}, {Key: 2, P: 0.3}, {Key: 3, P: 0.2},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	counts := map[uint64]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		counts[w.Sample(r)]++
+	}
+	want := map[uint64]float64{1: 0.5, 2: 0.3, 3: 0.2}
+	for k, p := range want {
+		got := float64(counts[k]) / trials
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("key %d frequency %.3f, want %.3f", k, got, p)
+		}
+	}
+}
+
+func TestWeightedSetDrawMatchesSampleLaw(t *testing.T) {
+	// Draw (plain rng.Source) and Sample (*rng.RNG) use the same top-53-bit
+	// uniform construction, so over the same stream they produce the same keys.
+	w, err := NewWeightedSet([]Weighted{
+		{Key: 10, P: 1}, {Key: 20, P: 2}, {Key: 30, P: 3},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rng.New(12), rng.New(12)
+	for i := 0; i < 1000; i++ {
+		if s, d := w.Sample(a), w.Draw(b); s != d {
+			t.Fatalf("iteration %d: Sample=%d Draw=%d over identical streams", i, s, d)
+		}
+	}
+}
+
+func TestWeightedSetName(t *testing.T) {
+	w, _ := NewWeightedSet([]Weighted{{Key: 1, P: 1}}, "hot")
+	if w.Name() != "hot" {
+		t.Errorf("labeled name %q", w.Name())
+	}
+	w2, _ := NewWeightedSet([]Weighted{{Key: 1, P: 1}, {Key: 2, P: 1}}, "")
+	if w2.Name() != "weighted(2)" {
+		t.Errorf("default name %q", w2.Name())
+	}
+}
+
+// FuzzWeightedDraw checks the two distribution-law invariants of WeightedSet
+// over arbitrary supports: every draw lands on a positive-weight support key,
+// and at large N the empirical frequencies pass a (very generous) χ² sanity
+// bound against the normalized weights — enough to catch a cumulative-table
+// or binary-search bug that pins mass on the wrong key, loose enough to never
+// flake on honest sampling noise.
+func FuzzWeightedDraw(f *testing.F) {
+	f.Add(uint64(1), 1.0, uint64(2), 1.0, uint64(3), 1.0, uint64(99))
+	f.Add(uint64(7), 0.9, uint64(7), 0.1, uint64(8), 1e-9, uint64(1))
+	f.Add(uint64(0), 1e6, uint64(math.MaxUint64), 1.0, uint64(5), 0.0, uint64(42))
+	f.Add(uint64(3), 0.25, uint64(1), 0.25, uint64(2), 0.5, uint64(20100613))
+	f.Fuzz(func(t *testing.T, k1 uint64, p1 float64, k2 uint64, p2 float64, k3 uint64, p3 float64, seed uint64) {
+		support := []Weighted{{Key: k1, P: p1}, {Key: k2, P: p2}, {Key: k3, P: p3}}
+		w, err := NewWeightedSet(support, "")
+		if err != nil {
+			// Invalid weights (negative, NaN, Inf, zero mass) must be
+			// rejected at construction, never panic later.
+			return
+		}
+		norm := map[uint64]float64{}
+		for _, p := range w.Support() {
+			norm[p.Key] = p.P
+		}
+		const draws = 4096
+		counts := map[uint64]int{}
+		r := rng.New(seed)
+		for i := 0; i < draws; i++ {
+			k := w.Draw(r)
+			if _, ok := norm[k]; !ok {
+				t.Fatalf("draw %d landed on %d, outside the support %v", i, k, w.Support())
+			}
+			counts[k]++
+		}
+		// χ² over categories with a non-negligible expected count. The bound
+		// is ~20σ for ≤3 degrees of freedom — gross-bias detection only.
+		chi2 := 0.0
+		categories := 0
+		for k, p := range norm {
+			expected := p * draws
+			if expected < 8 {
+				continue
+			}
+			diff := float64(counts[k]) - expected
+			chi2 += diff * diff / expected
+			categories++
+		}
+		if categories > 0 && chi2 > 60+float64(categories)*20 {
+			t.Fatalf("χ² = %.1f over %d categories: counts %v vs support %v", chi2, categories, counts, w.Support())
+		}
+	})
+}

@@ -588,6 +588,13 @@ func (d *Dict) Stats() Stats {
 // recording). The result is stable only while the dictionary is quiescent.
 func (d *Dict) BaseTable() *cellprobe.Table { return d.cur.Load().base.Table() }
 
+// Base exposes the current epoch's static snapshot itself, so exact
+// contention can be computed for the structure live queries currently fall
+// through to (the telemetry live-vs-exact comparison). Like BaseTable, the
+// result is stable only while the dictionary is quiescent — a concurrent
+// rebuild publishes a new snapshot.
+func (d *Dict) Base() *core.Dict { return d.cur.Load().base }
+
 // BufferTable exposes the current epoch's update-buffer table. Slot cells
 // read as zero through it — slot data lives in atomic words — but probe
 // accounting (recording, size) is exact.

@@ -167,6 +167,32 @@ func (d *Dict) StepOffset(i int) int { return d.stepOff[i] }
 // RouteWidth returns the number of routing replicas R.
 func (d *Dict) RouteWidth() int { return d.routeW }
 
+// FoldStepMass converts an exact step-mass vector from the composite
+// ProbeSpec layout (disjoint step range per shard, see StepOffset) to the
+// time-aligned layout live telemetry counters use: the routing probe is step
+// 0 and every shard's step t lands at 1 + t, since only one shard executes
+// per query. Per-cell masses need no conversion — shard cells only ever
+// receive their own shard's steps — so only step-mass comparisons fold.
+func (d *Dict) FoldStepMass(mass []float64) []float64 {
+	maxP := 0
+	for i := range d.shards {
+		if mp := d.shards[i].MaxProbes(); mp > maxP {
+			maxP = mp
+		}
+	}
+	folded := make([]float64, 1+maxP)
+	if len(mass) > 0 {
+		folded[0] = mass[0] // routing step
+	}
+	for i := range d.shards {
+		off := d.stepOff[i]
+		for t := 0; t < d.shards[i].MaxProbes() && off+t < len(mass); t++ {
+			folded[1+t] += mass[off+t]
+		}
+	}
+	return folded
+}
+
 // routeProbe reads one uniformly chosen routing replica (step 0) and
 // returns the shard index it directs x to.
 func (d *Dict) routeProbe(x uint64, r rng.Source) int {

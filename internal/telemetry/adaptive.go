@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// AdaptiveConfig makes the probe sampling factor k self-tuning: a feedback
+// controller keeps the *recorded* (post-sampling) probe rate near a budget,
+// doubling k when the workload runs hot and halving it when traffic is
+// light, so an always-on monitor never needs a human to pick k.
+//
+// The controller runs out-of-band (AdaptTick, called from a ticker loop or a
+// test); the hot path only loads the current factor from one atomic word.
+// Each recorded probe is accumulated pre-scaled by the factor in force when
+// it was recorded, so the counters remain unbiased estimates of the true
+// totals across every factor change — Snapshot never rescales them.
+type AdaptiveConfig struct {
+	// TargetProbesPerSec is the recorded-probe budget the controller steers
+	// toward. Must be > 0.
+	TargetProbesPerSec float64
+	// MinSample and MaxSample bound k (rounded to powers of two). Defaults
+	// 1 and 65536.
+	MinSample int
+	MaxSample int
+	// Hysteresis is the deadband fraction around the target (default 0.25):
+	// k doubles only above Target·(1+Hysteresis) and halves only when the
+	// halved rate would stay below Target·(1−Hysteresis), so a steady
+	// workload settles on one k instead of oscillating between two.
+	Hysteresis float64
+}
+
+// withDefaults validates and normalizes the adaptive configuration.
+func (c AdaptiveConfig) withDefaults() (AdaptiveConfig, error) {
+	if !(c.TargetProbesPerSec > 0) {
+		return c, fmt.Errorf("telemetry: adaptive sampling needs TargetProbesPerSec > 0 (got %v)", c.TargetProbesPerSec)
+	}
+	if c.MinSample <= 0 {
+		c.MinSample = 1
+	}
+	if c.MaxSample <= 0 {
+		c.MaxSample = 1 << 16
+	}
+	c.MinSample = ceilPow2(c.MinSample)
+	c.MaxSample = ceilPow2(c.MaxSample)
+	if c.MaxSample < c.MinSample {
+		return c, fmt.Errorf("telemetry: adaptive MaxSample %d < MinSample %d", c.MaxSample, c.MinSample)
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.25
+	}
+	return c, nil
+}
+
+// Adaptive reports whether the sampling factor is controller-tuned.
+func (t *Telemetry) Adaptive() bool { return t.adaptive }
+
+// RecordedProbes returns the post-sampling probe count — the quantity the
+// adaptive controller budgets. It equals Snapshot().Probes only at k = 1.
+func (t *Telemetry) RecordedProbes() uint64 {
+	if t.recorded == nil {
+		return 0
+	}
+	return t.recorded.Sum(0)
+}
+
+// AdaptTick runs one controller step over the probes recorded since the
+// previous tick, elapsed apart, and returns the sampling factor now in
+// force. Call it from a single ticker goroutine (ticks serialize on an
+// internal mutex; the probe hot path is never blocked). It is a no-op for
+// fixed-k telemetry.
+//
+// The control law with recorded rate r, target T, hysteresis h:
+//
+//	while r > T·(1+h) and k < max:  k ← 2k, r ← r/2
+//	while 2r < T·(1−h) and k > min: k ← k/2, r ← 2r
+//
+// The bands overlap for any h > 0, so a constant incoming rate has at least
+// one stable k and the loop converges without oscillation.
+func (t *Telemetry) AdaptTick(elapsed time.Duration) int {
+	if !t.adaptive || elapsed <= 0 {
+		return t.Sample()
+	}
+	t.adaptMu.Lock()
+	defer t.adaptMu.Unlock()
+	total := t.recorded.Sum(0)
+	delta := total - t.adaptLast
+	t.adaptLast = total
+	rate := float64(delta) / elapsed.Seconds()
+
+	k := t.curMask.Load() + 1
+	up := t.adapt.TargetProbesPerSec * (1 + t.adapt.Hysteresis)
+	down := t.adapt.TargetProbesPerSec * (1 - t.adapt.Hysteresis)
+	for rate > up && k < uint64(t.adapt.MaxSample) {
+		k <<= 1
+		rate /= 2
+	}
+	for rate*2 < down && k > uint64(t.adapt.MinSample) {
+		k >>= 1
+		rate *= 2
+	}
+	t.curMask.Store(k - 1)
+	return int(k)
+}

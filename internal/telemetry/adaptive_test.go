@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/contention"
+)
+
+func TestAdaptiveConfigDefaults(t *testing.T) {
+	c, err := AdaptiveConfig{TargetProbesPerSec: 100}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinSample != 1 || c.MaxSample != 1<<16 || c.Hysteresis != 0.25 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Bounds round to powers of two.
+	c, err = AdaptiveConfig{TargetProbesPerSec: 100, MinSample: 3, MaxSample: 100}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinSample != 4 || c.MaxSample != 128 {
+		t.Fatalf("rounded bounds = %+v", c)
+	}
+	if _, err := (AdaptiveConfig{}).withDefaults(); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := (AdaptiveConfig{TargetProbesPerSec: math.NaN()}).withDefaults(); err == nil {
+		t.Error("NaN target accepted")
+	}
+	if _, err := (AdaptiveConfig{TargetProbesPerSec: 1, MinSample: 64, MaxSample: 2}).withDefaults(); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestNewAdaptivePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid adaptive config accepted")
+		}
+	}()
+	New(Config{Adaptive: &AdaptiveConfig{}}, 0, 1)
+}
+
+func TestAdaptTickIsNoOpWhenFixed(t *testing.T) {
+	tel := New(Config{Sample: 4}, 0, 1)
+	if tel.Adaptive() {
+		t.Fatal("fixed-k telemetry reports adaptive")
+	}
+	if got := tel.AdaptTick(time.Second); got != 4 {
+		t.Fatalf("AdaptTick on fixed telemetry = %d, want 4", got)
+	}
+	if tel.RecordedProbes() != 0 {
+		t.Fatal("fixed-k telemetry has a recorded counter")
+	}
+}
+
+// feed drives exactly n probes (step 0, cell 0) into the sink.
+func feed(tel *Telemetry, n int) {
+	for i := 0; i < n; i++ {
+		tel.ProbeObserved(0, 0)
+	}
+}
+
+func TestAdaptTickConvergesAndHolds(t *testing.T) {
+	const target = 10000.0
+	tel := New(Config{Adaptive: &AdaptiveConfig{TargetProbesPerSec: target}}, 0, 1)
+	if !tel.Adaptive() || tel.Sample() != 1 {
+		t.Fatalf("initial state: adaptive=%v k=%d", tel.Adaptive(), tel.Sample())
+	}
+	// An incoming rate of 16·target: at k=1 every probe is recorded, so one
+	// tick must climb straight to k=16 (each doubling halves the projected
+	// rate; 2·target is still above the 1.25·target band, 1·target is not).
+	feed(tel, 16*int(target))
+	if k := tel.AdaptTick(time.Second); k != 16 {
+		t.Fatalf("after hot tick k = %d, want 16", k)
+	}
+	// Same incoming rate at k=16 records ≈ target probes/sec — inside the
+	// deadband, so k holds across further ticks (no oscillation).
+	for tick := 0; tick < 3; tick++ {
+		feed(tel, 16*int(target))
+		if k := tel.AdaptTick(time.Second); k != 16 {
+			t.Fatalf("tick %d: k = %d, want steady 16", tick, k)
+		}
+	}
+	// Traffic stops: recorded rate 0, so k walks back down to MinSample.
+	if k := tel.AdaptTick(time.Second); k != 1 {
+		t.Fatalf("idle tick k = %d, want 1", k)
+	}
+}
+
+func TestAdaptTickRespectsBounds(t *testing.T) {
+	tel := New(Config{Adaptive: &AdaptiveConfig{
+		TargetProbesPerSec: 1, MinSample: 4, MaxSample: 16,
+	}}, 0, 1)
+	// Initial k clamps up to MinSample.
+	if tel.Sample() != 4 {
+		t.Fatalf("initial k = %d, want MinSample 4", tel.Sample())
+	}
+	// A flood cannot push k past MaxSample.
+	feed(tel, 1<<20)
+	if k := tel.AdaptTick(time.Second); k != 16 {
+		t.Fatalf("flooded k = %d, want MaxSample 16", k)
+	}
+	// Silence cannot pull it below MinSample.
+	if k := tel.AdaptTick(time.Second); k != 4 {
+		t.Fatalf("idle k = %d, want MinSample 4", k)
+	}
+	// Non-positive elapsed is a no-op.
+	if k := tel.AdaptTick(0); k != 4 {
+		t.Fatalf("zero-elapsed tick k = %d, want unchanged 4", k)
+	}
+}
+
+func TestAdaptiveCountsStayUnbiasedAcrossRetunes(t *testing.T) {
+	const target = 1000.0
+	tel := New(Config{Adaptive: &AdaptiveConfig{TargetProbesPerSec: target}}, 8, 100)
+	total := 0
+	// Phase 1 at k=1: exact counting.
+	feed(tel, 50000)
+	total += 50000
+	tel.AdaptTick(time.Second) // retunes k upward (50000 > 1250)
+	if tel.Sample() <= 1 {
+		t.Fatalf("controller did not raise k (k=%d)", tel.Sample())
+	}
+	// Phase 2 at k>1: sampled probes accumulate pre-scaled by the new k.
+	feed(tel, 200000)
+	total += 200000
+	tel.ObserveQuery(true, false, 1)
+	s := tel.Snapshot()
+	if !s.Adaptive {
+		t.Fatal("snapshot does not mark adaptive mode")
+	}
+	if s.Sample != tel.Sample() {
+		t.Fatalf("snapshot sample %d != current %d", s.Sample, tel.Sample())
+	}
+	if ratio := float64(s.Probes) / float64(total); math.Abs(ratio-1) > 0.10 {
+		t.Fatalf("probe estimate %d off by %.1f%% from %d across a retune", s.Probes, 100*(ratio-1), total)
+	}
+	// RecordedProbes counts post-sampling events: strictly fewer than the
+	// estimate once k > 1, and nonzero.
+	if rec := tel.RecordedProbes(); rec == 0 || rec >= uint64(total) {
+		t.Fatalf("recorded probes %d outside (0, %d)", rec, total)
+	}
+}
+
+func TestCompareExactStepsBoundsBufferSteps(t *testing.T) {
+	// A dynamic dictionary's live step masses: the static snapshot occupies
+	// steps 0..3 (MaxProbes 4) and the always-executed update-buffer probe
+	// lands at step 4 with mass 1. The exact analysis models only the static
+	// snapshot.
+	s := Snapshot{
+		MaxPhi:         0.01,
+		ProbesPerQuery: 3.5, // includes the buffer probe
+		StepMass:       []float64{1, 1, 0.5, 0, 1},
+	}
+	ex := contention.ExactResult{
+		MaxTotal: 0.01,
+		Probes:   2.5,
+		StepMass: []float64{1, 1, 0.5, 0},
+	}
+	// Unbounded compare sees the buffer step as a spurious mass-1 gap —
+	// the regression this API exists to fix.
+	if d := s.CompareExact(ex); d.StepMassMaxDiff != 1.0 {
+		t.Fatalf("unbounded StepMassMaxDiff = %v, want the spurious 1.0", d.StepMassMaxDiff)
+	}
+	// Bounded to the snapshot's MaxProbes: step 3 is still compared, step 4
+	// is not, and probes per query recomputes to the in-range mass.
+	d := s.CompareExactSteps(ex, 4)
+	if d.StepMassMaxDiff != 0 {
+		t.Fatalf("bounded StepMassMaxDiff = %v, want 0", d.StepMassMaxDiff)
+	}
+	if d.ProbesLive != 2.5 || d.ProbesRatio != 1.0 {
+		t.Fatalf("bounded probes live=%v ratio=%v, want 2.5 and 1.0", d.ProbesLive, d.ProbesRatio)
+	}
+	if d.MaxPhiRatio != 1.0 {
+		t.Fatalf("MaxPhiRatio = %v, want 1.0", d.MaxPhiRatio)
+	}
+	// A genuine static-range gap still surfaces: perturb step 3.
+	s.StepMass[3] = 0.25
+	if d := s.CompareExactSteps(ex, 4); math.Abs(d.StepMassMaxDiff-0.25) > 1e-12 {
+		t.Fatalf("boundary step 3 diff = %v, want 0.25", d.StepMassMaxDiff)
+	}
+	// Exact steps beyond the live vector but inside the bound still count
+	// (a live workload that never reached step 3 must not hide its absence).
+	short := Snapshot{StepMass: []float64{1, 1}, ProbesPerQuery: 2}
+	if d := short.CompareExactSteps(ex, 4); math.Abs(d.StepMassMaxDiff-0.5) > 1e-12 {
+		t.Fatalf("missing live steps diff = %v, want 0.5", d.StepMassMaxDiff)
+	}
+}

@@ -35,11 +35,40 @@ type Drift struct {
 // compared against ExactResult.MaxTotal, the total contention of
 // Definition 1.
 func (s Snapshot) CompareExact(ex contention.ExactResult) Drift {
+	return s.CompareExactSteps(ex, 0)
+}
+
+// CompareExactSteps is CompareExact restricted to live steps below steps —
+// the comparison a dynamic dictionary needs. Its live counters cover the
+// whole epoch (the update buffer's probes land at steps offset by the
+// static snapshot's MaxProbes), but the exact analysis covers only the
+// static snapshot; diffing the buffer steps against an analysis that never
+// modeled them previously reported a spurious step-mass gap of ≈ 1.0 from
+// the always-executed buffer probes even when the buffer was empty and the
+// static masses agreed exactly. Passing the snapshot's MaxProbes as steps
+// confines both the step-mass L∞ and the probes-per-query ratio to the
+// analyzed range. steps ≤ 0 compares everything (the static behaviour).
+func (s Snapshot) CompareExactSteps(ex contention.ExactResult, steps int) Drift {
 	d := Drift{
 		MaxPhiLive:  s.MaxPhi,
 		MaxPhiExact: ex.MaxTotal,
 		ProbesLive:  s.ProbesPerQuery,
 		ProbesExact: ex.Probes,
+	}
+	liveSteps, exactSteps := len(s.StepMass), len(ex.StepMass)
+	if steps > 0 {
+		if liveSteps > steps {
+			liveSteps = steps
+		}
+		if exactSteps > steps {
+			exactSteps = steps
+		}
+		// StepMass[t] is the probability a query executes step t, so the
+		// in-range sum is the expected probes per query within the range.
+		d.ProbesLive = 0
+		for _, m := range s.StepMass[:liveSteps] {
+			d.ProbesLive += m
+		}
 	}
 	if d.MaxPhiExact > 0 {
 		d.MaxPhiRatio = d.MaxPhiLive / d.MaxPhiExact
@@ -47,9 +76,9 @@ func (s Snapshot) CompareExact(ex contention.ExactResult) Drift {
 	if d.ProbesExact > 0 {
 		d.ProbesRatio = d.ProbesLive / d.ProbesExact
 	}
-	for t, live := range s.StepMass {
+	for t, live := range s.StepMass[:liveSteps] {
 		exact := 0.0
-		if t < len(ex.StepMass) {
+		if t < exactSteps {
 			exact = ex.StepMass[t]
 		}
 		diff := live - exact
@@ -60,7 +89,7 @@ func (s Snapshot) CompareExact(ex contention.ExactResult) Drift {
 			d.StepMassMaxDiff = diff
 		}
 	}
-	for t := len(s.StepMass); t < len(ex.StepMass); t++ {
+	for t := liveSteps; t < exactSteps; t++ {
 		if ex.StepMass[t] > d.StepMassMaxDiff {
 			d.StepMassMaxDiff = ex.StepMass[t]
 		}

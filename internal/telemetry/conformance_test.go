@@ -1,0 +1,98 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/dist"
+	"repro/internal/hash"
+	"repro/internal/rng"
+	"repro/internal/scheme"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+
+	// Registry side effects: the roster registers itself from these
+	// packages' init functions.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+)
+
+// genKeys generates n distinct universe keys deterministically from seed.
+func genKeys(n int, seed uint64) []uint64 {
+	r := rng.New(seed)
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := r.Uint64n(hash.MaxKey)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestRosterTelemetryConformance is the whole-registry live-vs-exact battery:
+// every registered scheme, instrumented with an unsampled telemetry sink and
+// driven by a deterministic weighted schedule, must report a live maxΦ̂·n
+// within 5% of contention.Exact under the schedule's realized distribution —
+// for the uniform drive and for a heavily skewed Zipf(1.2) drive alike.
+// Deterministic schemes agree exactly; replicated ones carry the
+// extreme-value noise of their random replica draws, which the query budget
+// keeps under the tolerance.
+func TestRosterTelemetryConformance(t *testing.T) {
+	const seed = 20100613
+	n, passes := 2048, 64
+	if testing.Short() {
+		n, passes = 512, 40
+	}
+	keys := genKeys(n, seed)
+	queries := passes * n
+	dists := []struct {
+		name    string
+		support []dist.Weighted
+	}{
+		{"uniform", dist.NewUniformSet(keys, "").Support()},
+		{"zipf(1.2)", dist.NewZipf(keys, 1.2).Support()},
+	}
+	for _, name := range scheme.Names() {
+		for _, q := range dists {
+			t.Run(fmt.Sprintf("%s/%s", name, q.name), func(t *testing.T) {
+				s, err := scheme.Build(name, keys, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drive, err := workload.NewWeightedDrive(q.support, queries, seed^0xc0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tel := telemetry.New(telemetry.Config{Sample: 1}, s.Table().Size(), s.N())
+				s.Table().SetSink(tel)
+				r := rng.New(seed ^ 0xc0)
+				for i := 0; i < queries; i++ {
+					if _, err := s.Contains(drive.Next(), r); err != nil {
+						t.Fatal(err)
+					}
+					tel.ObserveQuery(true, false, 0)
+				}
+				s.Table().SetSink(nil)
+				ex, err := contention.Exact(s, drive.Realized())
+				if err != nil {
+					t.Fatal(err)
+				}
+				drift := tel.Snapshot().CompareExact(ex)
+				if math.Abs(drift.MaxPhiRatio-1) > 0.05 {
+					t.Errorf("maxΦ̂ ratio %.4f outside [0.95, 1.05]: live %.4f exact %.4f (·n: %.1f vs %.1f)",
+						drift.MaxPhiRatio, drift.MaxPhiLive, drift.MaxPhiExact,
+						drift.MaxPhiLive*float64(n), drift.MaxPhiExact*float64(n))
+				}
+				if math.Abs(drift.ProbesRatio-1) > 0.05 {
+					t.Errorf("probes/query ratio %.4f outside [0.95, 1.05]: live %.3f exact %.3f",
+						drift.ProbesRatio, drift.ProbesLive, drift.ProbesExact)
+				}
+			})
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cellprobe"
@@ -54,6 +55,12 @@ type Config struct {
 	// 0 or 1 records every probe. Snapshot scales counts back up by the
 	// realized sampling factor, so estimates stay unbiased.
 	Sample int
+	// Adaptive, when non-nil, makes the sampling factor self-tuning: a
+	// feedback controller (AdaptTick) steers the recorded probe rate toward
+	// AdaptiveConfig.TargetProbesPerSec, with Sample as the initial factor.
+	// Recorded probes are accumulated pre-scaled by the factor in force, so
+	// estimates stay unbiased across factor changes.
+	Adaptive *AdaptiveConfig
 	// TraceEvery traces roughly 1 in TraceEvery queries into the ring
 	// buffer (per-goroutine sampled, so concurrent tracers never contend
 	// on a shared sequence counter); 0 disables query tracing.
@@ -101,6 +108,15 @@ type Telemetry struct {
 	sampleMask uint64
 	traceMask  uint64
 	stepCap    int
+
+	// Adaptive-sampling state: the controller retunes curMask out-of-band
+	// (AdaptTick) while the probe hot path loads it with one atomic read.
+	adaptive  bool
+	adapt     AdaptiveConfig
+	curMask   atomic.Uint64
+	recorded  *cellprobe.StripedVector // post-sampling probe count (length 1)
+	adaptMu   sync.Mutex
+	adaptLast uint64 // recorded total at the previous tick
 
 	steps   *cellprobe.StripedVector // per-step probe counts (slot stepCap = overflow)
 	perCell *cellprobe.StripedVector // per-cell probe counts, nil when cells == 0
@@ -186,6 +202,23 @@ func New(cfg Config, cells, n int) *Telemetry {
 	if cells > 0 {
 		t.perCell = cellprobe.NewStripedVector(cells, stripes)
 	}
+	if cfg.Adaptive != nil {
+		ac, err := cfg.Adaptive.withDefaults()
+		if err != nil {
+			panic(err.Error())
+		}
+		k := sample
+		if k < ac.MinSample {
+			k = ac.MinSample
+		}
+		if k > ac.MaxSample {
+			k = ac.MaxSample
+		}
+		t.adaptive = true
+		t.adapt = ac
+		t.curMask.Store(uint64(k - 1))
+		t.recorded = cellprobe.NewStripedVector(1, stripes)
+	}
 	if trace > 0 && t.tracer == nil {
 		t.ring = NewRing(cfg.TraceBuffer)
 		t.tracer = t.ring
@@ -204,8 +237,14 @@ func New(cfg Config, cells, n int) *Telemetry {
 	return t
 }
 
-// Sample returns the realized probe sampling factor k (a power of two ≥ 1).
-func (t *Telemetry) Sample() int { return int(t.sampleMask) + 1 }
+// Sample returns the probe sampling factor k currently in force (a power of
+// two ≥ 1; controller-tuned when the configuration is adaptive).
+func (t *Telemetry) Sample() int {
+	if t.adaptive {
+		return int(t.curMask.Load()) + 1
+	}
+	return int(t.sampleMask) + 1
+}
 
 // Cells returns the per-cell accounting width (0 in cell-agnostic mode).
 func (t *Telemetry) Cells() int { return t.cells }
@@ -228,12 +267,16 @@ func splitmix64(x uint64) uint64 {
 // stripe, after the 1-in-k sampling decision.
 func (t *Telemetry) ProbeObserved(step, cell int) {
 	h := t.pool.Get().(*handle)
-	if t.sampleMask != 0 {
+	mask := t.sampleMask
+	if t.adaptive {
+		mask = t.curMask.Load()
+	}
+	if mask != 0 {
 		h.rng += 0x9e3779b97f4a7c15
 		z := h.rng
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		if (z^(z>>31))&t.sampleMask != 0 {
+		if (z^(z>>31))&mask != 0 {
 			t.pool.Put(h)
 			return
 		}
@@ -241,9 +284,20 @@ func (t *Telemetry) ProbeObserved(step, cell int) {
 	if step > t.stepCap {
 		step = t.stepCap
 	}
-	t.steps.AddStripe(h.stripe, step)
-	if t.perCell != nil {
-		t.perCell.AddStripe(h.stripe, cell)
+	if t.adaptive {
+		// Accumulate pre-scaled by the factor in force *now*: the estimate
+		// stays unbiased across retunes and Snapshot never rescales.
+		w := mask + 1
+		t.recorded.AddStripe(h.stripe, 0)
+		t.steps.AddStripeN(h.stripe, step, w)
+		if t.perCell != nil {
+			t.perCell.AddStripeN(h.stripe, cell, w)
+		}
+	} else {
+		t.steps.AddStripe(h.stripe, step)
+		if t.perCell != nil {
+			t.perCell.AddStripe(h.stripe, cell)
+		}
 	}
 	t.pool.Put(h)
 }
@@ -355,8 +409,12 @@ type Snapshot struct {
 	// Sample).
 	Probes uint64 `json:"probes"`
 	Sample int    `json:"sample"`
-	Cells  int    `json:"cells"`
-	N      int    `json:"n"`
+	// Adaptive marks a controller-tuned Sample (see AdaptiveConfig); the
+	// counters are then pre-scaled and Sample is the factor currently in
+	// force, not the factor behind every historical count.
+	Adaptive bool `json:"adaptive,omitempty"`
+	Cells    int  `json:"cells"`
+	N        int  `json:"n"`
 
 	ProbesPerQuery float64 `json:"probes_per_query"`
 	// MaxPhi is max_j Φ̂(j), the empirical per-cell total contention of
@@ -385,15 +443,22 @@ type Snapshot struct {
 // per table cell) and is meant for scrape/inspection cadence, not the query
 // path.
 func (t *Telemetry) Snapshot() Snapshot {
+	// Adaptive counts are accumulated pre-scaled (see ProbeObserved), so
+	// they are already estimates of the true totals; fixed-k counts scale
+	// up by the one factor that produced them.
 	scale := float64(t.Sample())
+	if t.adaptive {
+		scale = 1
+	}
 	s := Snapshot{
-		Queries: t.queries.Sum(),
-		Hits:    t.hits.Sum(),
-		Misses:  t.misses.Sum(),
-		Errors:  t.errors.Sum(),
-		Sample:  t.Sample(),
-		Cells:   t.cells,
-		N:       t.n,
+		Queries:  t.queries.Sum(),
+		Hits:     t.hits.Sum(),
+		Misses:   t.misses.Sum(),
+		Errors:   t.errors.Sum(),
+		Sample:   t.Sample(),
+		Adaptive: t.adaptive,
+		Cells:    t.cells,
+		N:        t.n,
 
 		Latency:       t.latency.Snapshot(),
 		BatchLatency:  t.batchLatency.Snapshot(),
@@ -408,7 +473,7 @@ func (t *Telemetry) Snapshot() Snapshot {
 			last = i
 		}
 	}
-	s.Probes = probes * uint64(t.Sample())
+	s.Probes = probes * uint64(scale)
 	if s.Queries > 0 {
 		q := float64(s.Queries)
 		s.ProbesPerQuery = float64(s.Probes) / q
@@ -441,7 +506,7 @@ func (t *Telemetry) Snapshot() Snapshot {
 			}
 			_ = bestAt
 			rv := RangeView{Name: r.Name, Start: r.Start, Cells: r.Cells,
-				Probes: sum * uint64(t.Sample()),
+				Probes: sum * uint64(scale),
 				MaxPhi: scale * float64(best) / q,
 			}
 			if probes > 0 {

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// WeightedDrive drives queries whose aggregate frequencies realize an
+// arbitrary weighted support — the distribution-aware generalization of the
+// round-robin pass the telemetry self-checks drive for the uniform
+// distribution. Two modes share one object:
+//
+//   - Next walks a precomputed schedule: one pass of Len queries in which
+//     key i appears exactly round(P_i · Len) times (largest-remainder
+//     apportionment, seeded shuffle). The position counter is atomic, so
+//     any number of concurrent workers collectively realize the schedule's
+//     exact per-pass frequencies regardless of interleaving — live counters
+//     only accumulate totals, so the realized empirical distribution is
+//     deterministic even though the per-worker order is not.
+//   - Draw samples i.i.d. from the support through any rng.Source (pass an
+//     rng.Sharded for concurrent low-contention sampling).
+//
+// Realized returns the schedule's exact empirical support; computing
+// contention.Exact under it makes the live-vs-exact comparison free of
+// apportionment quantization for deterministic schemes.
+type WeightedDrive struct {
+	set      *dist.WeightedSet
+	schedule []uint64
+	realized []dist.Weighted
+	pos      atomic.Uint64
+}
+
+// NewWeightedDrive builds a driver over support with a schedule of passLen
+// queries shuffled by seed. passLen must be ≥ 1; supports with more keys
+// than passLen lose their lightest keys to apportionment (counts round to
+// zero) — use a passLen of at least a few times the support size.
+func NewWeightedDrive(support []dist.Weighted, passLen int, seed uint64) (*WeightedDrive, error) {
+	if passLen < 1 {
+		return nil, fmt.Errorf("workload: weighted drive pass length %d must be ≥ 1", passLen)
+	}
+	set, err := dist.NewWeightedSet(support, "")
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	norm := set.Support()
+
+	// Largest-remainder apportionment: floor everyone, then hand the
+	// leftover slots to the largest fractional remainders (ties by lower
+	// index, i.e. lower key — deterministic).
+	counts := make([]int, len(norm))
+	type rem struct {
+		i int
+		f float64
+	}
+	rems := make([]rem, len(norm))
+	total := 0
+	for i, w := range norm {
+		exact := w.P * float64(passLen)
+		c := int(exact)
+		counts[i] = c
+		total += c
+		rems[i] = rem{i: i, f: exact - float64(c)}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].f != rems[b].f {
+			return rems[a].f > rems[b].f
+		}
+		return rems[a].i < rems[b].i
+	})
+	for j := 0; total < passLen; j++ {
+		counts[rems[j%len(rems)].i]++
+		total++
+	}
+
+	d := &WeightedDrive{set: set, schedule: make([]uint64, 0, passLen)}
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			d.schedule = append(d.schedule, norm[i].Key)
+		}
+		if c > 0 {
+			d.realized = append(d.realized, dist.Weighted{Key: norm[i].Key, P: float64(c) / float64(passLen)})
+		}
+	}
+	r := rng.New(seed)
+	for i := len(d.schedule) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		d.schedule[i], d.schedule[j] = d.schedule[j], d.schedule[i]
+	}
+	return d, nil
+}
+
+// Len returns the schedule length (one pass).
+func (d *WeightedDrive) Len() int { return len(d.schedule) }
+
+// Next returns the next scheduled query key, cycling over the pass. Safe for
+// concurrent callers: each claims a distinct schedule position, so every
+// completed pass realizes the apportioned frequencies exactly.
+func (d *WeightedDrive) Next() uint64 {
+	return d.schedule[int(d.pos.Add(1)-1)%len(d.schedule)]
+}
+
+// At returns schedule position i (mod the pass length) without advancing the
+// shared cursor — for workers that stride disjoint index ranges.
+func (d *WeightedDrive) At(i int) uint64 { return d.schedule[i%len(d.schedule)] }
+
+// Draw samples one key i.i.d. from the support through src.
+func (d *WeightedDrive) Draw(src rng.Source) uint64 { return d.set.Draw(src) }
+
+// Realized returns the schedule's exact empirical support: key i with
+// probability counts_i / Len. Exact analyses computed under this support
+// compare against a live drive with zero apportionment error.
+func (d *WeightedDrive) Realized() []dist.Weighted {
+	out := make([]dist.Weighted, len(d.realized))
+	copy(out, d.realized)
+	return out
+}
+
+// Sample implements dist.Dist over the schedule (the argument is unused —
+// the schedule is the randomness, fixed at construction).
+func (d *WeightedDrive) Sample(*rng.RNG) uint64 { return d.Next() }
+
+// Name identifies the drive in reports.
+func (d *WeightedDrive) Name() string {
+	return fmt.Sprintf("weighted-drive(%d keys, pass %d)", d.set.Len(), len(d.schedule))
+}
+
+var _ dist.Dist = (*WeightedDrive)(nil)

@@ -372,6 +372,17 @@ func (d *Dict) Stats() Stats {
 	}
 }
 
+// WeightedKey is one support point of a caller-described query
+// distribution: key Key queried with probability (or unnormalized weight) P.
+// The weighted contention and telemetry entry points — ContentionSummary-
+// Weighted, TelemetryCompareExactWeighted — normalize the weights and merge
+// duplicate keys, so any non-negative finite weighting with positive total
+// mass is accepted.
+type WeightedKey struct {
+	Key uint64
+	P   float64
+}
+
 // Contention summarizes the dictionary's exact contention under uniform
 // queries over a caller-chosen key set (the paper's uniform-positive
 // distribution when that set is the stored keys).
@@ -442,6 +453,23 @@ func (d *Dict) ContentionSummary(keys []uint64) (Contention, error) {
 	}
 	q := dist.NewUniformSet(keys, "")
 	res, err := contention.Exact(d.structure(), q.Support())
+	if err != nil {
+		return Contention{}, err
+	}
+	return Contention{
+		RatioStep:  res.RatioStep(),
+		RatioTotal: res.RatioTotal(),
+		Probes:     res.Probes,
+	}, nil
+}
+
+// ContentionSummaryWeighted computes the exact contention under an arbitrary
+// query distribution given as a weighted support — the quantity the paper
+// bounds for every q, and the prediction the skew-aware telemetry comparison
+// (TelemetryCompareExactWeighted) checks the live counters against. Weights
+// are normalized and duplicate keys merged.
+func (d *Dict) ContentionSummaryWeighted(support []WeightedKey) (Contention, error) {
+	res, err := exactWeighted(d.structure(), support)
 	if err != nil {
 		return Contention{}, err
 	}

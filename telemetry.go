@@ -7,7 +7,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/dist"
-	"repro/internal/shard"
+	"repro/internal/scheme"
 	"repro/internal/telemetry"
 )
 
@@ -15,6 +15,13 @@ import (
 // probe sampling, query tracing, and snapshot shape. The zero value counts
 // every probe and traces nothing. See internal/telemetry for field docs.
 type TelemetryConfig = telemetry.Config
+
+// TelemetryAdaptiveConfig makes the probe-sampling factor self-tuning
+// (TelemetryConfig.Adaptive): a feedback controller steers the recorded
+// probe rate toward a budget, doubling the factor when the workload runs hot
+// and halving it when traffic is light. Drive it with Telemetry.AdaptTick
+// from a ticker goroutine, as cmd/lcds-monitor -adaptive does.
+type TelemetryAdaptiveConfig = telemetry.AdaptiveConfig
 
 // Telemetry is the live telemetry handle of a dictionary built with
 // WithTelemetry: Snapshot() for the runtime Φ̂ estimate, per-step probe
@@ -51,6 +58,10 @@ func WithTelemetry(cfg TelemetryConfig) Option {
 			c.err = fmt.Errorf("lcds: telemetry sample %d must be ≥ 0", cfg.Sample)
 			return
 		}
+		if cfg.Adaptive != nil && !(cfg.Adaptive.TargetProbesPerSec > 0) {
+			c.err = fmt.Errorf("lcds: adaptive telemetry needs TargetProbesPerSec > 0 (got %v)", cfg.Adaptive.TargetProbesPerSec)
+			return
+		}
 		cc := cfg
 		c.o.telem = &cc
 	}
@@ -70,47 +81,90 @@ func (d *DynamicDict) Telemetry() *Telemetry { return d.tel }
 // theory-vs-runtime self-check. It errors when the dictionary was built
 // without WithTelemetry or keys is empty.
 func (d *Dict) TelemetryCompareExact(keys []uint64) (TelemetryDrift, error) {
-	if d.tel == nil {
-		return TelemetryDrift{}, fmt.Errorf("lcds: telemetry is not enabled (use WithTelemetry)")
-	}
 	if len(keys) == 0 {
 		return TelemetryDrift{}, fmt.Errorf("lcds: telemetry comparison needs a non-empty key set")
 	}
-	q := dist.NewUniformSet(keys, "")
-	res, err := contention.Exact(d.structure(), q.Support())
+	return d.TelemetryCompareExactWeighted(uniformWeights(keys))
+}
+
+// TelemetryCompareExactWeighted is TelemetryCompareExact under an arbitrary
+// query distribution: the exact analysis is computed under the given
+// weighted support — pass the same weights the live workload draws from
+// (e.g. WeightedDrive.Realized of internal/workload, or any Supporter's
+// Support) and the drift ratios read 1.0 exactly when the running system
+// matches Definition 1 under that skew. Weights are normalized; duplicate
+// keys merge.
+func (d *Dict) TelemetryCompareExactWeighted(support []WeightedKey) (TelemetryDrift, error) {
+	if d.tel == nil {
+		return TelemetryDrift{}, fmt.Errorf("lcds: telemetry is not enabled (use WithTelemetry)")
+	}
+	res, err := exactWeighted(d.structure(), support)
 	if err != nil {
 		return TelemetryDrift{}, err
 	}
 	if d.sharded != nil {
-		res.StepMass = foldShardSteps(d.sharded, res.StepMass)
+		res.StepMass = d.sharded.FoldStepMass(res.StepMass)
 	}
 	return d.tel.Snapshot().CompareExact(res), nil
 }
 
-// foldShardSteps converts an exact step-mass vector from the composite
-// ProbeSpec layout (disjoint step range per shard) to the time-aligned
-// layout the live counters use (all shards forward to step 1 + t, since
-// only one shard executes per query). Per-cell masses are unaffected by
-// the relabeling — shard cells only ever receive their own shard's steps —
-// so only the step-mass comparison needs this.
-func foldShardSteps(sd *shard.Dict, mass []float64) []float64 {
-	maxP := 0
-	for i := 0; i < sd.Shards(); i++ {
-		if mp := sd.Shard(i).MaxProbes(); mp > maxP {
-			maxP = mp
-		}
+// TelemetryCompareExact diffs the dynamic dictionary's live telemetry
+// against the exact analysis of the current epoch's static snapshot under
+// uniform queries over keys. The comparison is confined to the static step
+// range (Snapshot.CompareExactSteps): the live counters also carry the
+// update buffer's probes at offset steps, which the static analysis never
+// models. Dynamic telemetry is cell-agnostic, so MaxPhiLive/MaxPhiRatio are
+// zero; the meaningful signals are the probes ratio and the step-mass gap.
+// Sharded dynamic dictionaries do not support the comparison (each shard
+// rebuilds on its own schedule, so there is no single static structure to
+// analyze); quiesce before comparing so no rebuild swaps the snapshot.
+func (d *DynamicDict) TelemetryCompareExact(keys []uint64) (TelemetryDrift, error) {
+	if len(keys) == 0 {
+		return TelemetryDrift{}, fmt.Errorf("lcds: telemetry comparison needs a non-empty key set")
 	}
-	folded := make([]float64, 1+maxP)
-	if len(mass) > 0 {
-		folded[0] = mass[0] // routing step
+	return d.TelemetryCompareExactWeighted(uniformWeights(keys))
+}
+
+// TelemetryCompareExactWeighted is the dynamic TelemetryCompareExact under
+// an arbitrary weighted support. See the uniform variant for the dynamic
+// caveats (static-range comparison, cell-agnostic live side).
+func (d *DynamicDict) TelemetryCompareExactWeighted(support []WeightedKey) (TelemetryDrift, error) {
+	if d.tel == nil {
+		return TelemetryDrift{}, fmt.Errorf("lcds: telemetry is not enabled (use WithTelemetry)")
 	}
-	for i := 0; i < sd.Shards(); i++ {
-		off := sd.StepOffset(i)
-		for t := 0; t < sd.Shard(i).MaxProbes() && off+t < len(mass); t++ {
-			folded[1+t] += mass[off+t]
-		}
+	if d.sharded != nil {
+		return TelemetryDrift{}, fmt.Errorf("lcds: sharded dynamic dictionaries do not support the exact comparison")
 	}
-	return folded
+	base := d.inner.Base()
+	res, err := exactWeighted(base, support)
+	if err != nil {
+		return TelemetryDrift{}, err
+	}
+	return d.tel.Snapshot().CompareExactSteps(res, base.MaxProbes()), nil
+}
+
+// exactWeighted runs the exact contention analysis under a caller-supplied
+// weighted support, normalized first.
+func exactWeighted(s scheme.Scheme, support []WeightedKey) (contention.ExactResult, error) {
+	w := make([]dist.Weighted, len(support))
+	for i, p := range support {
+		w[i] = dist.Weighted{Key: p.Key, P: p.P}
+	}
+	norm, err := contention.NormalizeSupport(w)
+	if err != nil {
+		return contention.ExactResult{}, fmt.Errorf("lcds: %w", err)
+	}
+	return contention.Exact(s, norm)
+}
+
+// uniformWeights lifts a key set to the uniform weighted support over it.
+func uniformWeights(keys []uint64) []WeightedKey {
+	w := 1.0 / float64(len(keys))
+	out := make([]WeightedKey, len(keys))
+	for i, k := range keys {
+		out[i] = WeightedKey{Key: k, P: w}
+	}
+	return out
 }
 
 // installTelemetry builds the telemetry instance for a freshly constructed

@@ -1,0 +1,245 @@
+package lcds
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// TestAdaptiveTelemetryFacade drives a dictionary built with controller-tuned
+// sampling: the first tick under load must raise k off its floor, further
+// ticks under the same load must hold it steady (the hysteresis deadband),
+// and the pre-scaled counters must keep the probe estimate unbiased across
+// the retunes.
+func TestAdaptiveTelemetryFacade(t *testing.T) {
+	keys := testKeys(2048, 41)
+	d, err := New(keys, WithSeed(41), WithTelemetry(TelemetryConfig{
+		Adaptive: &TelemetryAdaptiveConfig{TargetProbesPerSec: 1000},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := d.Telemetry()
+	if !tel.Adaptive() || tel.Sample() != 1 {
+		t.Fatalf("initial adaptive state: adaptive=%v k=%d", tel.Adaptive(), tel.Sample())
+	}
+	out := make([]bool, len(keys))
+	drivePass := func() {
+		if err := d.ContainsBatch(keys, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drivePass()
+	k1 := tel.AdaptTick(time.Second)
+	if k1 <= 1 {
+		t.Fatalf("k = %d after a hot tick, want > 1", k1)
+	}
+	// Same offered load per tick: the controller must settle, not oscillate.
+	for tick := 0; tick < 3; tick++ {
+		drivePass()
+		if k := tel.AdaptTick(time.Second); k != k1 {
+			t.Fatalf("tick %d: k = %d, want steady %d", tick, k, k1)
+		}
+	}
+	snap := tel.Snapshot()
+	if !snap.Adaptive || snap.Sample != k1 {
+		t.Fatalf("snapshot adaptive=%v sample=%d, want true/%d", snap.Adaptive, snap.Sample, k1)
+	}
+	// Unbiasedness across the k=1 → k1 retune: the live probes-per-query
+	// estimate still matches the exact analysis.
+	drift, err := d.TelemetryCompareExact(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(drift.ProbesRatio-1) > 0.10 {
+		t.Fatalf("adaptive probe estimate off by %.1f%%: live %.3f exact %.3f",
+			100*math.Abs(drift.ProbesRatio-1), drift.ProbesLive, drift.ProbesExact)
+	}
+}
+
+// TestTelemetryCompareExactWeighted closes the skewed-drive loop through the
+// public facade: a Zipf(1.2) schedule drives the dictionary and the drift is
+// computed under the schedule's realized weights, so the live and exact sides
+// describe the same distribution and the ratios sit at 1 within sampling
+// noise.
+func TestTelemetryCompareExactWeighted(t *testing.T) {
+	const n, passes = 2048, 32
+	keys := testKeys(n, 42)
+	d, err := New(keys, WithSeed(42), WithTelemetry(TelemetryConfig{Sample: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive, err := workload.NewWeightedDrive(dist.NewZipf(keys, 1.2).Support(), passes*n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < passes*n; i++ {
+		if !d.Contains(drive.Next()) {
+			t.Fatal("lost key")
+		}
+	}
+	support := make([]WeightedKey, 0, n)
+	for _, w := range drive.Realized() {
+		support = append(support, WeightedKey{Key: w.Key, P: w.P})
+	}
+	drift, err := d.TelemetryCompareExactWeighted(support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(drift.MaxPhiRatio-1) > 0.05 {
+		t.Fatalf("skewed maxΦ̂ ratio %.4f outside [0.95, 1.05] (live %.4f exact %.4f)",
+			drift.MaxPhiRatio, drift.MaxPhiLive, drift.MaxPhiExact)
+	}
+	if math.Abs(drift.ProbesRatio-1) > 1e-9 {
+		t.Fatalf("skewed probes ratio %v, want exactly 1 (deterministic probe counts)", drift.ProbesRatio)
+	}
+	// The uniform-weights entry point agrees with the plain-keys one.
+	du, err := d.TelemetryCompareExact(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := d.TelemetryCompareExactWeighted(uniformWeights(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du != dw {
+		t.Fatalf("uniform drift mismatch: %+v vs %+v", du, dw)
+	}
+	// A degenerate support is rejected, not analyzed.
+	if _, err := d.TelemetryCompareExactWeighted([]WeightedKey{{Key: keys[0], P: 0}}); err == nil {
+		t.Fatal("zero-mass support accepted")
+	}
+}
+
+// TestDynamicCompareExactBufferSteps is the regression test for the dynamic
+// step-alignment fix: with an empty update buffer mid-epoch, the always-
+// executed buffer probes land at steps past the static snapshot's MaxProbes,
+// and the comparison previously diffed them against an exact analysis that
+// never modeled them — reporting a spurious step-mass gap of ≈ 1.0 and an
+// inflated probes ratio. Bounded to the static range, both signals read
+// clean.
+func TestDynamicCompareExactBufferSteps(t *testing.T) {
+	const n, passes = 1024, 16
+	keys := testKeys(n, 43)
+	d, err := NewDynamic(keys, 0.25, WithSeed(43), WithTelemetry(TelemetryConfig{Sample: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Quiesce()
+	for p := 0; p < passes; p++ {
+		for _, k := range keys {
+			ok, err := d.Contains(k)
+			if err != nil || !ok {
+				t.Fatalf("lost key %d (%v)", k, err)
+			}
+		}
+	}
+	drift, err := d.TelemetryCompareExact(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift.StepMassMaxDiff > 0.02 {
+		t.Fatalf("step-mass gap %.4f with an empty buffer, want ≈ 0 (the spurious-1.0 regression)",
+			drift.StepMassMaxDiff)
+	}
+	if math.Abs(drift.ProbesRatio-1) > 0.05 {
+		t.Fatalf("in-range probes ratio %.4f (live %.3f exact %.3f)",
+			drift.ProbesRatio, drift.ProbesLive, drift.ProbesExact)
+	}
+	// The raw snapshot still sees the buffer probes — the comparison, not the
+	// counters, is what the fix bounds.
+	if snap := d.Telemetry().Snapshot(); snap.ProbesPerQuery <= drift.ProbesLive {
+		t.Fatalf("whole-epoch probes/query %.3f not above in-range %.3f — buffer probes missing",
+			snap.ProbesPerQuery, drift.ProbesLive)
+	}
+}
+
+// TestConcurrentAdaptTickDuringBatch races the adaptive controller against
+// the parallel batch path: a ticker goroutine retunes k while sharded batch
+// queries fan out and record probes through the same telemetry. Run under
+// -race this checks the controller's only shared state (the atomic factor
+// and the striped recorded counter) is safely published; the query counters
+// must still account every query exactly.
+func TestConcurrentAdaptTickDuringBatch(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	keys := testKeys(4096, 44)
+	d, err := New(keys, WithSeed(44), WithShards(4), WithTelemetry(TelemetryConfig{
+		Adaptive: &TelemetryAdaptiveConfig{TargetProbesPerSec: 5000, MaxSample: 256},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := d.Telemetry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if k := tel.AdaptTick(10 * time.Millisecond); k < 1 || k > 256 {
+					t.Errorf("k = %d outside [1, 256]", k)
+					return
+				}
+			}
+		}
+	}()
+	const workers = 4
+	var qwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			out := make([]bool, len(keys))
+			for r := 0; r < rounds; r++ {
+				if err := d.ContainsBatch(keys, out); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	qwg.Wait()
+	close(stop)
+	wg.Wait()
+	snap := tel.Snapshot()
+	if want := uint64(workers * rounds * len(keys)); snap.Queries != want {
+		t.Fatalf("queries = %d, want %d", snap.Queries, want)
+	}
+	if snap.Probes == 0 || tel.RecordedProbes() == 0 {
+		t.Fatalf("no probes recorded under concurrent retuning: %+v", snap)
+	}
+}
+
+// TestAdaptiveTelemetryZeroAlloc guards the adaptive hot path's allocation
+// contract through the build-tag pair in zeroalloc_norace_test.go /
+// zeroalloc_race_test.go: the controller branch of ProbeObserved (atomic
+// factor load + pre-scaled striped adds) must not allocate.
+func TestAdaptiveTelemetryZeroAlloc(t *testing.T) {
+	keys := testKeys(4096, 45)
+	d, err := New(keys, WithSeed(45), WithTelemetry(TelemetryConfig{
+		Adaptive: &TelemetryAdaptiveConfig{TargetProbesPerSec: 1e9},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retune once so the measured path runs at a controller-set factor
+	// rather than the initial one.
+	for _, k := range keys[:256] {
+		if !d.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	d.Telemetry().AdaptTick(time.Millisecond)
+	assertPooledPathsZeroAlloc(t, d, keys)
+}
