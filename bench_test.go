@@ -449,9 +449,9 @@ func BenchmarkStaticContainsGoroutines(b *testing.B) {
 }
 
 // BenchmarkDynamicMixGoroutines drives the dynamic facade with read/write
-// mixes at fixed goroutine counts. Writers serialize on the internal writer
-// mutex while reads stay lock-free, so heavier write fractions should slow
-// the writing goroutines without dragging down readers.
+// mixes at fixed goroutine counts. Reads are lock-free epoch loads and
+// writers claim buffer slots with CAS, so both sides of the mix should scale
+// with goroutines until rebuild work or CAS retries on hot slots bite.
 func BenchmarkDynamicMixGoroutines(b *testing.B) {
 	keys := testKeys(benchN+benchN/2, 4)
 	resident, extra := keys[:benchN], keys[benchN:]
@@ -490,6 +490,42 @@ func BenchmarkDynamicMixGoroutines(b *testing.B) {
 				d.Quiesce()
 			})
 		}
+	}
+}
+
+// BenchmarkDynamicWriterScaling is the pure update-path scaling story: every
+// goroutine is a writer churning insert/delete over a shared key pool, no
+// reads at all. With the mutex gone from the claim fast path, throughput at
+// g=4 should clearly exceed g=1 on a multi-core machine; CAS retries and
+// epoch-transition serialization are the only remaining writer coupling.
+func BenchmarkDynamicWriterScaling(b *testing.B) {
+	keys := testKeys(benchN*2, 7)
+	resident, churn := keys[:benchN], keys[benchN:]
+	for _, g := range benchGoroutineCounts() {
+		b.Run(fmt.Sprintf("writers=%d", g), func(b *testing.B) {
+			d, err := NewDynamic(resident, 0.5, WithSeed(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			runFanOut(b, g, func(seed uint64, n int) {
+				r := rng.New(seed)
+				for i := 0; i < n; i++ {
+					k := churn[r.Intn(len(churn))]
+					var err error
+					if r.Intn(2) == 0 {
+						_, err = d.Insert(k)
+					} else {
+						_, err = d.Delete(k)
+					}
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			d.Quiesce()
+		})
 	}
 }
 

@@ -85,6 +85,8 @@ func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
 		fmt.Fprintf(w, "lcds_rebuild_failures_total%s %d\n", sh, d.RebuildFails)
 		fmt.Fprintf(w, "lcds_delta_depth%s %d\n", sh, d.DeltaDepth)
 		fmt.Fprintf(w, "lcds_delta_high_water%s %d\n", sh, d.DeltaHighWater)
+		fmt.Fprintf(w, "lcds_claim_probes_total%s %d\n", sh, d.ClaimProbes)
+		fmt.Fprintf(w, "lcds_cas_retries_total%s %d\n", sh, d.CASRetries)
 		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.5"), d.RebuildNs.P50)
 		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.99"), d.RebuildNs.P99)
 		fmt.Fprintf(w, "lcds_rebuild_ns_sum%s %d\n", sh, d.RebuildNs.Sum)

@@ -21,9 +21,15 @@ import (
 // All methods are safe for concurrent use. Contains and Len are lock-free:
 // they load the current epoch — an immutable (static snapshot, update
 // buffer) pair published through an atomic pointer — and probe it without
-// writing any shared cache line. Insert and Delete serialize on an internal
-// writer mutex; the ε·n global rebuild runs in a background goroutine while
-// the old epoch stays readable, so readers never stall behind it.
+// writing any shared cache line. Insert and Delete are lock-free on the
+// fast path too: writers claim buffer slots directly with CAS (a monotone
+// empty → inserted/deleted → vacated state machine per packed slot word),
+// so update throughput scales with writer goroutines; the internal mutex is
+// taken only to coordinate epoch transitions. The ε·n global rebuild runs
+// in a background goroutine while the old epoch stays readable, so readers
+// never stall behind it; writers racing a rebuild either land in a
+// mutex-serialized delta log that is replayed before the epoch swap, or
+// retry against the freshly published epoch.
 type DynamicDict struct {
 	inner   *dynamic.Dict      // unsharded (nil when sharded)
 	sharded *shard.DynamicDict // P-way composite (nil when unsharded)
@@ -126,7 +132,9 @@ func (d *DynamicDict) containsBatch(keys []uint64, out []bool) error {
 	return d.inner.ContainsBatch(keys, out, d.src)
 }
 
-// Insert adds x; it reports whether the set changed.
+// Insert adds x; it reports whether the set changed. Any number of
+// goroutines may call Insert, Delete and Contains concurrently: writers
+// claim update-buffer slots with CAS and take no lock on the fast path.
 func (d *DynamicDict) Insert(x uint64) (bool, error) {
 	if d.sharded != nil {
 		return d.sharded.Insert(x)
@@ -134,12 +142,54 @@ func (d *DynamicDict) Insert(x uint64) (bool, error) {
 	return d.inner.Insert(x)
 }
 
-// Delete removes x; it reports whether the set changed.
+// Delete removes x; it reports whether the set changed. Safe for any number
+// of concurrent callers, like Insert.
 func (d *DynamicDict) Delete(x uint64) (bool, error) {
 	if d.sharded != nil {
 		return d.sharded.Delete(x)
 	}
 	return d.inner.Delete(x)
+}
+
+// InsertBatch inserts every key and reports how many actually changed the
+// set. On a sharded dictionary the batch is grouped by shard and the groups
+// are applied on concurrent goroutines — the shard-parallel update fan-out
+// mirroring ContainsBatch's read fan-out; unsharded, the keys are applied in
+// order through the lock-free claim path.
+func (d *DynamicDict) InsertBatch(keys []uint64) (int, error) {
+	if d.sharded != nil {
+		return d.sharded.InsertBatch(keys)
+	}
+	return d.applyBatch(keys, false)
+}
+
+// DeleteBatch deletes every key and reports how many actually changed the
+// set, with the same shard-parallel fan-out as InsertBatch.
+func (d *DynamicDict) DeleteBatch(keys []uint64) (int, error) {
+	if d.sharded != nil {
+		return d.sharded.DeleteBatch(keys)
+	}
+	return d.applyBatch(keys, true)
+}
+
+func (d *DynamicDict) applyBatch(keys []uint64, del bool) (int, error) {
+	changed := 0
+	for _, k := range keys {
+		var ok bool
+		var err error
+		if del {
+			ok, err = d.inner.Delete(k)
+		} else {
+			ok, err = d.inner.Insert(k)
+		}
+		if err != nil {
+			return changed, err
+		}
+		if ok {
+			changed++
+		}
+	}
+	return changed, nil
 }
 
 // Len returns the current number of keys without taking a lock.

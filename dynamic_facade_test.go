@@ -45,6 +45,60 @@ func TestDynamicDictBasic(t *testing.T) {
 	}
 }
 
+// TestDynamicBatchUpdates checks InsertBatch/DeleteBatch on both the
+// unsharded and sharded layouts: changed counts must match what sequential
+// Insert/Delete would report (duplicates within a batch count once), and the
+// resulting membership must agree with Contains.
+func TestDynamicBatchUpdates(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		keys := testKeys(900, 24)
+		opts := []Option{WithSeed(25)}
+		if shards > 1 {
+			opts = append(opts, WithShards(shards))
+		}
+		d, err := NewDynamic(keys[:300], 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 300 fresh keys, 100 already present, plus 50 in-batch duplicates.
+		batch := append(append([]uint64{}, keys[300:600]...), keys[:100]...)
+		batch = append(batch, keys[300:350]...)
+		changed, err := d.InsertBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed != 300 {
+			t.Errorf("shards=%d: InsertBatch changed %d, want 300", shards, changed)
+		}
+		if d.Len() != 600 {
+			t.Errorf("shards=%d: Len = %d after batch insert, want 600", shards, d.Len())
+		}
+		// Delete 200 members, 100 non-members, 50 in-batch duplicates.
+		del := append(append([]uint64{}, keys[100:300]...), keys[600:700]...)
+		del = append(del, keys[100:150]...)
+		changed, err = d.DeleteBatch(del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed != 200 {
+			t.Errorf("shards=%d: DeleteBatch changed %d, want 200", shards, changed)
+		}
+		if d.Len() != 400 {
+			t.Errorf("shards=%d: Len = %d after batch delete, want 400", shards, d.Len())
+		}
+		out := make([]bool, len(keys))
+		if err := d.ContainsBatch(keys, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			want := (i < 100) || (i >= 300 && i < 600)
+			if out[i] != want {
+				t.Fatalf("shards=%d: Contains(%d) = %v, want %v", shards, k, out[i], want)
+			}
+		}
+	}
+}
+
 func TestDynamicDictOptionValidation(t *testing.T) {
 	if _, err := NewDynamic(nil, 0, WithSpace(1)); err == nil {
 		t.Error("bad option accepted")

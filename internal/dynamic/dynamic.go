@@ -21,25 +21,59 @@
 // published through an atomic pointer — the RCU discipline of lock-free
 // open-addressing tables (Gao–Groote–Hesselink). Readers load the current
 // epoch and probe it without taking any lock: the static table is immutable
-// and the buffer's slot words are single atomic loads. Writers serialize on
-// a mutex, publish each update with one atomic slot store, and when the
-// buffer fills hand the ε·n global rebuild to a background goroutine; the
-// old epoch stays fully readable until the new one is swapped in, at which
-// point updates that arrived mid-rebuild are replayed into the fresh
-// buffer. A membership query therefore performs zero shared mutable-memory
-// writes outside the probed cells (read-probe statistics go to a striped
-// counter, itself padded per goroutine).
+// and the buffer's slot words are single atomic loads.
+//
+// Writers are lock-free on the fast path. Each buffer slot is one packed
+// (tag, key) word driven through a monotone state machine by CAS — the
+// claim-slot protocol of lock-free linear probing (Attiya–Oshman–Schiller):
+//
+//	empty ──CAS──▶ inserted(x) ──CAS──▶ vacated(x)
+//	empty ──CAS──▶ deleted(x)  ──CAS──▶ vacated(x)
+//
+// A slot word changes at most twice per epoch and never returns to a prior
+// state, so there is no ABA problem: a writer that loses a CAS re-reads the
+// slot, and the new word tells it exactly what happened (its own key won the
+// race, or another key claimed the slot and the probe chain continues).
+// Tombstones (deleted) mark snapshot keys as removed; vacated slots keep
+// probe chains intact and are never reused within an epoch. Occupancy is an
+// atomic counter that writers pre-reserve before claiming an empty slot, so
+// the buffer's load factor stays ≤ 1/2 without any lock.
+//
+// The writer mutex survives only to serialize epoch transitions: rebuild
+// publication and delta-log replay. The hand-off is fenced by epoch-scoped
+// writer accounting — a per-buffer writer count plus a sealed flag. A writer
+// enters the buffer by incrementing the count and then checking sealed; the
+// rebuilder seals the buffer and waits for the count to drain before
+// scanning the slots for the snapshot. The seq-cst order of the two races
+// (count-then-sealed vs sealed-then-count) guarantees every claimed slot is
+// either observed by the snapshot scan or the claiming writer retreats to
+// the mutex path, so no claimed slot is ever lost across a rebuild swap.
+// Writers arriving while the buffer is sealed take the mutex: they apply to
+// the still-published old buffer (readers must see their updates) and log
+// the operation in a delta that is replayed into the fresh buffer before the
+// new epoch is published. Writers that lose the epoch race simply retry
+// against the freshly published epoch.
+//
+// A membership query performs zero shared mutable-memory writes outside the
+// probed cells; an update writes one slot word plus striped statistics
+// counters, so concurrent writers on different keys touch disjoint cache
+// lines — update throughput scales with writer goroutines instead of
+// flat-lining on a mutex.
 //
 // Read contention stays within a constant of the static dictionary's: the
 // buffer's parameter row is replicated and its slot probes are spread by
 // hashing. Update contention is the interesting quantity the paper asks
 // about — every writer must touch the buffer's occupancy region, and the
 // package counts read and write probes separately (Stats.ReadProbes,
-// Stats.WriteProbes) so experiment X1 can quantify exactly that.
+// Stats.WriteProbes) so experiment X1 can quantify exactly that. With
+// Params.SyncRebuild and a single writer the whole update sequence is
+// deterministic: no CAS is ever contended and the probe accounting is
+// bit-identical to the historical mutex implementation.
 package dynamic
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,13 +93,29 @@ const (
 	slotVacated  = uint64(3) // removed buffer entry; keeps probe chains intact
 )
 
-// A buffer slot packs (tag, key) into one word so that readers and the
-// writer exchange it with single atomic operations: keys are < 2^61, the
-// tag takes the bits above.
+// A buffer slot packs (tag, key) into one word so that readers and writers
+// exchange it with single atomic operations: keys are < 2^61, the tag takes
+// the bits above.
 const (
 	tagShift = 61
 	keyMask  = uint64(1)<<tagShift - 1
 )
+
+// packSlot encodes (tag, key) into one slot word. It reports ok=false when
+// the key does not fit below the tag bits or the tag is not one of the four
+// slot states — the write paths validate keys against hash.MaxKey (< 2^61)
+// first, so a failure here means a caller bug, not bad user input.
+func packSlot(tag, key uint64) (word uint64, ok bool) {
+	if tag > slotVacated || key > keyMask {
+		return 0, false
+	}
+	return tag<<tagShift | key, true
+}
+
+// unpackSlot decodes a slot word back into (tag, key).
+func unpackSlot(word uint64) (tag, key uint64) {
+	return word >> tagShift, word & keyMask
+}
 
 const (
 	bufParamRow = 0
@@ -96,19 +146,25 @@ type Params struct {
 	// read and write probe counts exactly.
 	Sink cellprobe.ProbeSink
 	// Metrics, when non-nil, receives the rebuild-side telemetry: epoch
-	// publishes, rebuild durations, writer pauses at the delta hard cap,
-	// and the buffered-delta depth.
+	// publishes, rebuild durations, writer pauses at the buffer hard cap,
+	// the buffered-delta depth, and the per-claim probe/CAS-retry counts of
+	// the lock-free write path.
 	Metrics Metrics
 }
 
 // Metrics receives a dynamic dictionary's rebuild-side telemetry.
 // *telemetry.DynamicMetrics implements it; the indirection keeps this
-// package below internal/telemetry in the import graph.
+// package below internal/telemetry in the import graph. WriteClaim is called
+// from the lock-free write path by any number of concurrent writers;
+// implementations must not take locks.
 type Metrics interface {
 	RebuildDone(n int, durationNs int64)
 	RebuildFailed(durationNs int64)
 	WriterPaused(pauseNs int64)
 	SetDeltaDepth(depth int)
+	// WriteClaim records one completed claim walk: the probes it issued and
+	// the CAS races it lost along the way.
+	WriteClaim(probes, casRetries uint64)
 }
 
 // stepSink offsets every observed probe's step — the buffer table's sink,
@@ -120,7 +176,10 @@ type stepSink struct {
 
 func (s stepSink) ProbeObserved(step, cell int) { s.sink.ProbeObserved(step+s.off, cell) }
 
-// Stats describes the dictionary's dynamic behaviour.
+// Stats describes the dictionary's dynamic behaviour. All counter fields are
+// maintained on atomic or striped counters, so Stats is safe to call while
+// writers and rebuilds are in full flight; totals read during a storm may
+// trail in-progress operations by a few counts (quiesce for exact figures).
 type Stats struct {
 	Len             int    // current number of keys
 	Epoch           int    // rebuilds performed
@@ -131,29 +190,48 @@ type Stats struct {
 	Updates         int    // total Insert/Delete calls that changed state
 	ReadProbes      uint64 // probes issued by Contains (static probes counted at MaxProbes)
 	WriteProbes     uint64 // probes and writes issued by Insert/Delete (replays included)
+	WriteCASRetries uint64 // claim CASes lost to a racing writer (0 single-writer)
 	RebuildCells    int    // cells written by the last rebuild
 	StaticHashTries int    // hash draws of the last rebuild
 }
 
 // buffer is the update buffer of one epoch: an open-addressing table whose
-// slot words are atomic, so lock-free readers run concurrently with the
-// writer. The acct table carries the cell-probe model's accounting (probe
-// recording, replicated parameter row); slot data lives in the packed
-// atomic words. Occupancy counters are owned by the writer lock.
+// slot words are atomic, so lock-free readers and writers run concurrently.
+// The acct table carries the cell-probe model's accounting (probe recording,
+// replicated parameter row); slot data lives in the packed atomic words.
 type buffer struct {
 	acct      *cellprobe.Table
 	slots     []atomic.Uint64
 	width     int
 	threshold int // occupancy that triggers a rebuild
 	hardCap   int // occupancy at which writers wait for the rebuild (load ≤ 1/2)
-	buffered  int // occupied minus vacated entries
-	occupied  int // slots not empty (including vacated) — drives rebuild
+
+	occupied atomic.Int64 // slots claimed (including vacated) — drives rebuild
+	buffered atomic.Int64 // live entries: occupied minus vacated
+
+	// Epoch-scoped writer accounting: the rebuild fence. writers counts
+	// lock-free claims in flight; sealed, once set (it is never cleared),
+	// diverts new writers to the mutex path. The rebuilder seals, then waits
+	// for writers to drain before scanning the slots for its snapshot.
+	writers atomic.Int64
+	sealed  atomic.Bool
 }
 
 // params probes a random replica of the buffer's parameter row.
 func (b *buffer) params(r rng.Source) hash.Pairwise {
 	c := b.acct.Probe(0, bufParamRow, r.Intn(b.width))
 	return hash.Pairwise{A: c.Lo, B: c.Hi, M: uint64(b.width)}
+}
+
+// seal closes the buffer to lock-free writers and waits for those already
+// inside to finish, so that a subsequent slot scan observes every committed
+// claim. Callers hold the dictionary mutex; sealed is never cleared again —
+// the buffer's epoch is replaced instead.
+func (b *buffer) seal() {
+	b.sealed.Store(true)
+	for b.writers.Load() != 0 {
+		runtime.Gosched()
+	}
 }
 
 // find walks the probe chain for x. It returns the slot holding x
@@ -166,11 +244,11 @@ func (b *buffer) find(x uint64, h hash.Pairwise) (slot int, tag uint64, found bo
 		b.acct.Probe(step, bufSlotRow, p)
 		w := b.slots[p].Load()
 		probes++
-		t := w >> tagShift
+		t, k := unpackSlot(w)
 		switch {
 		case t == slotEmpty:
 			return p, slotEmpty, false, probes, nil
-		case w&keyMask == x && t != slotVacated:
+		case k == x && t != slotVacated:
 			return p, t, true, probes, nil
 		}
 		p = (p + 1) % b.width
@@ -178,50 +256,63 @@ func (b *buffer) find(x uint64, h hash.Pairwise) (slot int, tag uint64, found bo
 	return 0, 0, false, probes, fmt.Errorf("dynamic: buffer scan wrapped (corrupt table?)")
 }
 
-// set publishes one slot with a single atomic store.
-func (b *buffer) set(slot int, x, tag uint64) {
-	b.slots[slot].Store(tag<<tagShift | x)
-}
-
 // epoch is one immutable published state: a static snapshot plus the buffer
 // absorbing the updates since. Readers obtain both with one pointer load.
+// baseKeys/baseSet describe the snapshot's key set; both are frozen before
+// the epoch is published, so writers consult baseSet without coordination.
 type epoch struct {
-	base *core.Dict
-	buf  *buffer
+	base     *core.Dict
+	buf      *buffer
+	baseKeys []uint64        // the snapshot's keys, in build order
+	baseSet  map[uint64]bool // the same keys, for O(1) membership checks
 }
 
 // update is one buffered operation, logged for replay when a background
-// rebuild swaps epochs.
+// rebuild swaps epochs. Only mutex-path writers (those fenced out of a
+// sealed buffer) append to the delta, so the log order is the linearization
+// order of the operations it holds.
 type update struct {
 	key uint64
 	del bool
 }
 
+// claimOutcome classifies one claim walk.
+type claimOutcome int
+
+const (
+	claimNoChange claimOutcome = iota // membership already as requested
+	claimChanged                      // slot published, membership changed
+	claimFull                         // occupancy cap reached; caller must wait
+)
+
 // Dict is a dynamic low-contention dictionary. Contains and Len are safe
-// for any number of concurrent callers and take no lock; Insert and Delete
-// serialize on an internal writer mutex and may run concurrently with
-// readers. Probe recording (BaseTable/BufferTable with an attached
-// Recorder) is a sequential measurement mode: quiesce and stop updating
-// while a recorder is attached.
+// for any number of concurrent callers and take no lock. Insert and Delete
+// are safe for any number of concurrent callers too: the fast path claims
+// buffer slots with CAS and takes no lock; the internal mutex is acquired
+// only to coordinate epoch transitions (rebuild trigger, sealed-buffer
+// delta logging, hard-cap waits). Probe recording (BaseTable/BufferTable
+// with an attached Recorder) is a sequential measurement mode: quiesce and
+// stop updating while a recorder is attached.
 type Dict struct {
 	p    Params
 	seed uint64
 
 	cur atomic.Pointer[epoch]
-	n   atomic.Int64 // len(members), mirrored for lock-free Len
+	n   atomic.Int64 // current key count, mirrored for lock-free Len
 
-	readProbes *cellprobe.StripedCounter
-	scratch    sync.Pool // *core.QueryScratch reused across Contains calls
+	readProbes  *cellprobe.StripedCounter
+	writeProbes *cellprobe.StripedCounter
+	casRetries  *cellprobe.StripedCounter
+	updates     atomic.Int64 // state-changing Insert/Delete calls
+	scratch     sync.Pool    // *core.QueryScratch reused across Contains calls
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	members     map[uint64]bool // current key set (oracle for rebuilds)
-	epoch       int             // epochs started (== Stats.Epoch when idle)
-	rebuilding  bool
-	rebuildErr  error
-	delta       []update // updates applied since the rebuild snapshot was taken
-	writeProbes uint64
-	stats       Stats
+	mu         sync.Mutex
+	cond       *sync.Cond
+	epoch      int // epochs started (== Stats.Epoch when idle)
+	rebuilding bool
+	rebuildErr error
+	delta      []update // updates applied to a sealed buffer since its snapshot scan
+	stats      Stats    // rebuild-owned fields; counters live on the atomics above
 }
 
 // New builds a dynamic dictionary over the initial keys. The initial
@@ -234,41 +325,30 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 		return nil, fmt.Errorf("dynamic: epsilon %v outside (0, 1]", p.Epsilon)
 	}
 	d := &Dict{
-		p:          p,
-		seed:       seed,
-		readProbes: cellprobe.NewStripedCounter(),
-		members:    make(map[uint64]bool, len(initial)),
+		p:           p,
+		seed:        seed,
+		readProbes:  cellprobe.NewStripedCounter(),
+		writeProbes: cellprobe.NewStripedCounter(),
+		casRetries:  cellprobe.NewStripedCounter(),
 	}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
 	d.cond = sync.NewCond(&d.mu)
 	if err := scheme.ValidateKeys(initial); err != nil {
 		return nil, fmt.Errorf("dynamic: %w", err)
 	}
-	for _, k := range initial {
-		d.members[k] = true
-	}
-	d.n.Store(int64(len(d.members)))
+	d.n.Store(int64(len(initial)))
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.epoch = 1
-	keys := d.memberKeys()
+	keys := append([]uint64(nil), initial...)
 	started := time.Now()
 	base, err := core.Build(keys, d.p.Static, d.seed+1)
 	d.rebuilding = true
-	d.finishRebuild(base, err, 1, len(keys), started)
+	d.finishRebuild(base, err, 1, keys, started)
 	if d.rebuildErr != nil {
 		return nil, d.rebuildErr
 	}
 	return d, nil
-}
-
-// memberKeys snapshots the current key set. Callers hold d.mu.
-func (d *Dict) memberKeys() []uint64 {
-	keys := make([]uint64, 0, len(d.members))
-	for k := range d.members {
-		keys = append(keys, k)
-	}
-	return keys
 }
 
 // newBuffer sizes and seeds the buffer of epoch ep for a snapshot of n keys.
@@ -300,31 +380,62 @@ func (d *Dict) newBuffer(n, ep int) *buffer {
 	return b
 }
 
-// startRebuild snapshots the member set and kicks off construction of the
-// next epoch. Callers hold d.mu.
+// snapshotKeys derives the current key set from an epoch whose buffer has
+// been sealed and drained: the snapshot's keys minus tombstones, plus the
+// buffer's live inserts. The order (base order, then slot order) is
+// deterministic given a deterministic update sequence. Callers hold d.mu.
+func snapshotKeys(e *epoch) []uint64 {
+	var inserted []uint64
+	deleted := make(map[uint64]bool)
+	for i := range e.buf.slots {
+		tag, key := unpackSlot(e.buf.slots[i].Load())
+		switch tag {
+		case slotInserted:
+			inserted = append(inserted, key)
+		case slotDeleted:
+			deleted[key] = true
+		}
+	}
+	keys := make([]uint64, 0, len(e.baseKeys)+len(inserted))
+	for _, k := range e.baseKeys {
+		if !deleted[k] {
+			keys = append(keys, k)
+		}
+	}
+	return append(keys, inserted...)
+}
+
+// startRebuild seals the current buffer, snapshots the key set and kicks off
+// construction of the next epoch. Callers hold d.mu.
 func (d *Dict) startRebuild() {
 	d.rebuilding = true
 	d.epoch++
 	ep := d.epoch
-	keys := d.memberKeys()
+	e := d.cur.Load()
+	// Fence: after seal returns, no lock-free writer is inside the buffer
+	// and none will enter again, so the slot scan below observes every
+	// committed claim. Later writers divert to the mutex path and land in
+	// the delta log.
+	e.buf.seal()
+	keys := snapshotKeys(e)
 	d.delta = nil
 	started := time.Now()
 	if d.p.SyncRebuild {
 		base, err := core.Build(keys, d.p.Static, d.seed+uint64(ep))
-		d.finishRebuild(base, err, ep, len(keys), started)
+		d.finishRebuild(base, err, ep, keys, started)
 		return
 	}
 	go func() {
 		base, err := core.Build(keys, d.p.Static, d.seed+uint64(ep))
 		d.mu.Lock()
 		defer d.mu.Unlock()
-		d.finishRebuild(base, err, ep, len(keys), started)
+		d.finishRebuild(base, err, ep, keys, started)
 	}()
 }
 
 // finishRebuild publishes epoch ep around the freshly built base, replaying
 // any updates that arrived while the build ran. Callers hold d.mu.
-func (d *Dict) finishRebuild(base *core.Dict, err error, ep, n int, started time.Time) {
+func (d *Dict) finishRebuild(base *core.Dict, err error, ep int, keys []uint64, started time.Time) {
 	d.rebuilding = false
 	defer d.cond.Broadcast()
 	if err != nil {
@@ -334,10 +445,19 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep, n int, started time
 		d.rebuildErr = fmt.Errorf("dynamic: rebuild %d: %w", ep, err)
 		return
 	}
-	buf := d.newBuffer(n, ep)
+	n := len(keys)
+	set := make(map[uint64]bool, n)
+	for _, k := range keys {
+		set[k] = true
+	}
+	ne := &epoch{base: base, buf: d.newBuffer(n, ep), baseKeys: keys, baseSet: set}
+	// Replay the delta in log order. The ops were serialized by d.mu against
+	// the sealed old buffer, so replaying them one by one reconstructs the
+	// same membership on the new epoch; replay may exceed the hard cap (the
+	// trailing threshold check below rebuilds again rather than lose an op).
 	for _, u := range d.delta {
-		if aerr := d.apply(buf, u.key, u.del); aerr != nil {
-			d.rebuildErr = fmt.Errorf("dynamic: rebuild %d replay: %w", ep, aerr)
+		if _, cerr := d.claim(ne, u.key, u.del, ne.buf.width); cerr != nil {
+			d.rebuildErr = fmt.Errorf("dynamic: rebuild %d replay: %w", ep, cerr)
 			return
 		}
 	}
@@ -346,94 +466,137 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep, n int, started time
 		// Installed before the epoch pointer is published: no reader has the
 		// new tables yet, so SetSink cannot race a probe.
 		base.Table().SetSink(d.p.Sink)
-		buf.acct.SetSink(stepSink{sink: d.p.Sink, off: base.MaxProbes()})
+		ne.buf.acct.SetSink(stepSink{sink: d.p.Sink, off: base.MaxProbes()})
 	}
 	if d.p.Metrics != nil {
 		d.p.Metrics.RebuildDone(n, time.Since(started).Nanoseconds())
-		d.p.Metrics.SetDeltaDepth(buf.buffered)
+		d.p.Metrics.SetDeltaDepth(int(ne.buf.buffered.Load()))
 	}
-	d.cur.Store(&epoch{base: base, buf: buf})
+	d.cur.Store(ne)
 	d.stats.Epoch = ep
 	d.stats.SnapshotN = n
 	d.stats.RebuildKeys += n
-	d.stats.RebuildCells = base.Table().Size() + buf.acct.Size()
+	d.stats.RebuildCells = base.Table().Size() + ne.buf.acct.Size()
 	d.stats.StaticHashTries = base.Report().HashTries
 	// Replayed updates may already exceed the new, possibly smaller
 	// threshold — go again rather than let writers hit the hard cap.
-	if buf.occupied >= buf.threshold {
+	if int(ne.buf.occupied.Load()) >= ne.buf.threshold {
 		d.startRebuild()
 	}
 }
 
-// apply writes one update into b's probe chain. Callers hold d.mu.
-func (d *Dict) apply(b *buffer, x uint64, del bool) error {
+// claim walks x's probe chain in e's buffer and publishes one update by CAS
+// — the lock-free write path. capLimit bounds the occupancy a fresh claim
+// may reach (hardCap for live writers, the full width for delta replay).
+// It is safe for any number of concurrent callers on an unsealed buffer;
+// the rebuild fence (writer accounting) is the caller's responsibility.
+func (d *Dict) claim(e *epoch, x uint64, del bool, capLimit int) (claimOutcome, error) {
+	b := e.buf
 	seed := d.seed ^ x
 	if del {
 		seed ^= 0xdead
 	}
 	h := b.params(rng.New(seed))
-	slot, tag, found, probes, err := b.find(x, h)
-	if err != nil {
-		return err
-	}
-	d.writeProbes += probes + 2 // chain + parameter probe + slot write
-	if !del {
-		if found && tag == slotDeleted {
-			// Re-inserting a snapshot key that was tombstoned: drop the
-			// tombstone; the static structure already holds it.
-			b.set(slot, x, slotVacated)
-			b.buffered--
-			return nil
-		}
-		b.set(slot, x, slotInserted)
-		b.buffered++
-		b.occupied++
-		return nil
-	}
-	if found && tag == slotInserted {
-		// The key only ever lived in the buffer.
-		b.set(slot, x, slotVacated)
-		b.buffered--
-		return nil
-	}
-	// Tombstone a snapshot key.
-	b.set(slot, x, slotDeleted)
-	b.buffered++
-	b.occupied++
-	return nil
-}
+	probes := uint64(1) // the step-0 parameter probe
+	var retries uint64
+	outcome := claimNoChange
+	var err error
 
-// writableEpoch returns the current epoch once its buffer has room for one
-// more entry, waiting out an in-flight rebuild if the writer outran it.
-// Callers hold d.mu.
-func (d *Dict) writableEpoch() (*epoch, error) {
-	var pauseStart time.Time
-	paused := false
-	endPause := func() {
-		if paused && d.p.Metrics != nil {
-			d.p.Metrics.WriterPaused(time.Since(pauseStart).Nanoseconds())
+	p := int(h.Eval(x))
+walk:
+	for step := 1; ; step++ {
+		if step > b.width+1 {
+			err = fmt.Errorf("dynamic: buffer scan wrapped (corrupt table?)")
+			break walk
 		}
+		b.acct.Probe(step, bufSlotRow, p)
+		w := b.slots[p].Load()
+		probes++
+	slot:
+		for {
+			tag, key := unpackSlot(w)
+			switch {
+			case tag == slotEmpty:
+				// End of the chain: x has no live entry. The membership
+				// verdict now rests on the immutable snapshot set.
+				if del != e.baseSet[x] {
+					// Insert of a snapshot key with no tombstone, or delete
+					// of a key that is nowhere: no change.
+					break walk
+				}
+				claimTag := slotInserted
+				if del {
+					claimTag = slotDeleted // tombstone a snapshot key
+				}
+				// Pre-reserve occupancy so concurrent claims can never push
+				// the load past capLimit (which keeps chains short and this
+				// walk's wrap bound unreachable).
+				if int(b.occupied.Add(1)) > capLimit {
+					b.occupied.Add(-1)
+					outcome = claimFull
+					break walk
+				}
+				nw, ok := packSlot(claimTag, x)
+				if !ok {
+					b.occupied.Add(-1)
+					err = fmt.Errorf("dynamic: key %d does not pack into a slot word", x)
+					break walk
+				}
+				if b.slots[p].CompareAndSwap(w, nw) {
+					probes++ // the publishing slot write
+					b.buffered.Add(1)
+					outcome = claimChanged
+					break walk
+				}
+				// Lost the slot to a racing writer. Re-read and re-analyze
+				// the same slot: it may now hold x itself.
+				b.occupied.Add(-1)
+				retries++
+				w = b.slots[p].Load()
+				probes++
+				continue slot
+			case key == x && tag == slotInserted:
+				if !del {
+					break walk // already a member (buffer insert)
+				}
+				if nw, _ := packSlot(slotVacated, x); b.slots[p].CompareAndSwap(w, nw) {
+					probes++
+					b.buffered.Add(-1)
+					outcome = claimChanged
+				} else {
+					// inserted(x) only ever transitions to vacated(x): a
+					// racing Delete won, so the membership change is theirs.
+					retries++
+				}
+				break walk
+			case key == x && tag == slotDeleted:
+				if del {
+					break walk // already tombstoned
+				}
+				// Re-inserting a tombstoned snapshot key: drop the
+				// tombstone; the static structure already holds the key.
+				if nw, _ := packSlot(slotVacated, x); b.slots[p].CompareAndSwap(w, nw) {
+					probes++
+					b.buffered.Add(-1)
+					outcome = claimChanged
+				} else {
+					retries++
+				}
+				break walk
+			default:
+				break slot // another key, or vacated: the chain continues
+			}
+		}
+		p = (p + 1) % b.width
 	}
-	for {
-		if d.rebuildErr != nil {
-			endPause()
-			return nil, d.rebuildErr
-		}
-		e := d.cur.Load()
-		if e.buf.occupied < e.buf.hardCap {
-			endPause()
-			return e, nil
-		}
-		if !d.rebuilding {
-			d.startRebuild()
-			continue
-		}
-		if !paused {
-			paused = true
-			pauseStart = time.Now()
-		}
-		d.cond.Wait()
+	d.writeProbes.Add(probes)
+	if retries > 0 {
+		d.casRetries.Add(retries)
 	}
+	if d.p.Metrics != nil {
+		d.p.Metrics.WriteClaim(probes, retries)
+	}
+	return outcome, err
 }
 
 // Contains answers membership for x through recorded probes on both the
@@ -503,6 +666,7 @@ func (d *Dict) ContainsBatch(keys []uint64, out []bool, r rng.Source) error {
 
 // Insert adds x. It reports whether the dictionary changed; crossing the
 // buffer threshold triggers a rebuild (background unless SyncRebuild).
+// Safe for any number of concurrent callers.
 func (d *Dict) Insert(x uint64) (bool, error) {
 	if x >= hash.MaxKey {
 		return false, fmt.Errorf("dynamic: key %d outside universe", x)
@@ -510,43 +674,125 @@ func (d *Dict) Insert(x uint64) (bool, error) {
 	return d.mutate(x, false)
 }
 
-// Delete removes x. It reports whether the dictionary changed.
+// Delete removes x. It reports whether the dictionary changed. Safe for any
+// number of concurrent callers.
 func (d *Dict) Delete(x uint64) (bool, error) {
 	return d.mutate(x, true)
 }
 
-// mutate is the shared write path: membership check, buffer publish, delta
-// log for an in-flight rebuild, threshold trigger.
+// mutate is the lock-free write fast path: enter the current epoch's buffer
+// through the writer fence, claim a slot by CAS, and fall back to the mutex
+// only when the buffer is sealed (rebuild snapshot in progress) or at its
+// occupancy hard cap.
 func (d *Dict) mutate(x uint64, del bool) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.members[x] != del { // insert of present key / delete of absent key
-		return false, nil
+	e := d.cur.Load()
+	b := e.buf
+	b.writers.Add(1)
+	// The fence: writers increments before the sealed check, the sealer
+	// stores sealed before waiting on writers (both seq-cst), so either we
+	// see sealed here and retreat, or the sealer waits for our claim.
+	if b.sealed.Load() || int(b.occupied.Load()) >= b.hardCap {
+		b.writers.Add(-1)
+		return d.mutateSlow(x, del)
 	}
-	e, err := d.writableEpoch()
+	outcome, err := d.claim(e, x, del, b.hardCap)
+	b.writers.Add(-1)
 	if err != nil {
 		return false, err
 	}
-	if err := d.apply(e.buf, x, del); err != nil {
-		return false, err
+	if outcome == claimFull {
+		return d.mutateSlow(x, del)
 	}
-	if del {
-		delete(d.members, x)
-	} else {
-		d.members[x] = true
+	if outcome == claimNoChange {
+		return false, nil
 	}
-	d.n.Store(int64(len(d.members)))
-	d.stats.Updates++
-	if d.p.Metrics != nil {
-		d.p.Metrics.SetDeltaDepth(e.buf.buffered)
-	}
-	if d.rebuilding {
-		d.delta = append(d.delta, update{key: x, del: del})
-	}
-	if e.buf.occupied >= e.buf.threshold && !d.rebuilding && d.rebuildErr == nil {
-		d.startRebuild()
+	d.commitChange(del)
+	if int(b.occupied.Load()) >= b.threshold {
+		d.mu.Lock()
+		// Re-check under the lock: another writer may have triggered the
+		// rebuild (or published a whole new epoch) while we raced here.
+		if !d.rebuilding && d.rebuildErr == nil && d.cur.Load() == e &&
+			int(b.occupied.Load()) >= b.threshold {
+			d.startRebuild()
+		}
+		d.mu.Unlock()
 	}
 	return true, nil
+}
+
+// commitChange records one successful membership change.
+func (d *Dict) commitChange(del bool) {
+	if del {
+		d.n.Add(-1)
+	} else {
+		d.n.Add(1)
+	}
+	d.updates.Add(1)
+}
+
+// mutateSlow is the mutex path: taken when the fast path found the buffer
+// sealed (a rebuild is scanning or building) or at its hard cap. Under the
+// lock it applies the update to whatever epoch is current — including a
+// sealed buffer, whose readers are still live and must observe the update —
+// and logs sealed-buffer operations for replay into the next epoch.
+func (d *Dict) mutateSlow(x uint64, del bool) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var pauseStart time.Time
+	paused := false
+	endPause := func() {
+		if paused && d.p.Metrics != nil {
+			d.p.Metrics.WriterPaused(time.Since(pauseStart).Nanoseconds())
+		}
+	}
+	for {
+		if d.rebuildErr != nil {
+			endPause()
+			return false, d.rebuildErr
+		}
+		e := d.cur.Load()
+		b := e.buf
+		if int(b.occupied.Load()) < b.hardCap {
+			// Either a live (unsealed) buffer — our claim races only other
+			// claims, which CAS handles — or a sealed buffer mid-rebuild,
+			// where the mutex makes us its only writer.
+			outcome, err := d.claim(e, x, del, b.hardCap)
+			if err != nil {
+				endPause()
+				return false, err
+			}
+			if outcome != claimFull {
+				endPause()
+				if outcome == claimNoChange {
+					return false, nil
+				}
+				d.commitChange(del)
+				if b.sealed.Load() && d.rebuilding {
+					// The snapshot scan has already run: log for replay so
+					// the change survives the epoch swap.
+					d.delta = append(d.delta, update{key: x, del: del})
+					if d.p.Metrics != nil {
+						d.p.Metrics.SetDeltaDepth(len(d.delta))
+					}
+				}
+				if !d.rebuilding && int(b.occupied.Load()) >= b.threshold {
+					d.startRebuild()
+				}
+				return true, nil
+			}
+		}
+		// At the hard cap: start the rebuild if nobody has, else wait for
+		// the epoch swap and retry against the fresh buffer.
+		if !d.rebuilding {
+			d.startRebuild()
+			continue
+		}
+		if !paused {
+			paused = true
+			pauseStart = time.Now()
+		}
+		d.cond.Wait()
+	}
 }
 
 // Len returns the current number of keys without taking a lock.
@@ -569,18 +815,21 @@ func (d *Dict) Rebuilding() bool {
 	return d.rebuilding
 }
 
-// Stats returns a snapshot of the dynamic statistics. Epoch-dependent
-// fields settle only after Quiesce.
+// Stats returns a snapshot of the dynamic statistics. It is safe to call
+// concurrently with writers and rebuilds (counters are atomic or striped);
+// epoch-dependent fields settle only after Quiesce.
 func (d *Dict) Stats() Stats {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	s := d.stats
-	s.Len = len(d.members)
+	d.mu.Unlock()
+	s.Len = int(d.n.Load())
+	s.Updates = int(d.updates.Load())
 	b := d.cur.Load().buf
-	s.Buffered = b.buffered
+	s.Buffered = int(b.buffered.Load())
 	s.BufferSlots = b.width
 	s.ReadProbes = d.readProbes.Sum()
-	s.WriteProbes = d.writeProbes
+	s.WriteProbes = d.writeProbes.Sum()
+	s.WriteCASRetries = d.casRetries.Sum()
 	return s
 }
 

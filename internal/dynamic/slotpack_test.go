@@ -1,0 +1,70 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/rng"
+)
+
+// TestSlotPackRoundtrip sweeps all four tags with random in-range keys and
+// pins the boundary: every key below 2^61 packs and roundtrips, the first
+// key at the boundary is rejected, and every valid dictionary key
+// (< hash.MaxKey) fits in a slot word.
+func TestSlotPackRoundtrip(t *testing.T) {
+	r := rng.New(77)
+	tags := []uint64{slotEmpty, slotInserted, slotDeleted, slotVacated}
+	for _, tag := range tags {
+		for i := 0; i < 2000; i++ {
+			key := r.Uint64n(keyMask + 1) // any 61-bit key
+			w, ok := packSlot(tag, key)
+			if !ok {
+				t.Fatalf("packSlot(%d, %d) rejected an in-range key", tag, key)
+			}
+			gotTag, gotKey := unpackSlot(w)
+			if gotTag != tag || gotKey != key {
+				t.Fatalf("roundtrip (%d, %d) -> %#x -> (%d, %d)", tag, key, w, gotTag, gotKey)
+			}
+		}
+	}
+	if _, ok := packSlot(slotInserted, keyMask); !ok {
+		t.Error("largest 61-bit key rejected")
+	}
+	if _, ok := packSlot(slotInserted, keyMask+1); ok {
+		t.Error("key 2^61 accepted — it would corrupt the tag bits")
+	}
+	if _, ok := packSlot(slotVacated+1, 0); ok {
+		t.Error("out-of-range tag accepted")
+	}
+	if hash.MaxKey-1 > keyMask {
+		t.Errorf("universe bound %d exceeds slot key capacity %d", hash.MaxKey-1, keyMask)
+	}
+}
+
+// FuzzSlotPack drives the packed-word encode/decode through arbitrary
+// (tag, key) pairs: in-range pairs must roundtrip exactly, anything at or
+// past the key-range boundary (or with an unknown tag) must be rejected
+// rather than silently truncated into a different key.
+func FuzzSlotPack(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(12345))
+	f.Add(uint64(2), keyMask)
+	f.Add(uint64(3), keyMask+1)
+	f.Add(uint64(7), uint64(1)<<63)
+	f.Fuzz(func(t *testing.T, tag, key uint64) {
+		w, ok := packSlot(tag, key)
+		if tag > slotVacated || key > keyMask {
+			if ok {
+				t.Fatalf("packSlot(%d, %d) accepted an out-of-range pair", tag, key)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("packSlot(%d, %d) rejected an in-range pair", tag, key)
+		}
+		gotTag, gotKey := unpackSlot(w)
+		if gotTag != tag || gotKey != key {
+			t.Fatalf("roundtrip (%d, %d) -> %#x -> (%d, %d)", tag, key, w, gotTag, gotKey)
+		}
+	})
+}

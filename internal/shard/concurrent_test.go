@@ -143,3 +143,95 @@ func TestConcurrentStaticBatch(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestConcurrentDynamicBatchUpdates drives InsertBatch/DeleteBatch from
+// several goroutines at once — each batch fans out across shards on its own
+// worker goroutines, so concurrent batches put multiple claiming writers on
+// every shard's buffer — while readers hold a disjoint seed range invariant.
+// Run under -race.
+func TestConcurrentDynamicBatchUpdates(t *testing.T) {
+	keys := testKeys(3072, 221)
+	seed, churn := keys[:1024], keys[1024:]
+	d, err := NewDynamic(seed, 4, dynamic.Params{}, 223)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const updaters = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, updaters+1)
+	for u := 0; u < updaters; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			// Each updater owns a disjoint churn slice: batch-insert it,
+			// batch-delete half, repeat. Changed counts are only exact for
+			// the first round (later rounds depend on interleaving within
+			// the slice owner — still single-owner, so they stay exact).
+			mine := churn[u*640 : (u+1)*640]
+			for round := 0; round < 4; round++ {
+				changed, err := d.InsertBatch(mine)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := len(mine)
+				if round > 0 {
+					want = len(mine) / 2 // second half stayed deleted
+				}
+				if changed != want {
+					t.Errorf("updater %d round %d: InsertBatch changed %d, want %d", u, round, changed, want)
+					return
+				}
+				changed, err = d.DeleteBatch(mine[len(mine)/2:])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if changed != len(mine)/2 {
+					t.Errorf("updater %d round %d: DeleteBatch changed %d, want %d", u, round, changed, len(mine)/2)
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := rng.NewSharded(225, 0)
+		out := make([]bool, 512)
+		for i := 0; i < 100; i++ {
+			batch := seed[(i*97)%(len(seed)-512):][:512]
+			if err := d.ContainsBatchParallel(batch, out, src); err != nil {
+				errs <- err
+				return
+			}
+			for j, ok := range out {
+				if !ok {
+					t.Errorf("seed key %d lost during batch churn", batch[j])
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	d.Quiesce()
+	// Final state: every updater's first half present, second half absent.
+	src := rng.New(227)
+	for u := 0; u < updaters; u++ {
+		mine := churn[u*640 : (u+1)*640]
+		for i, k := range mine {
+			ok, err := d.Contains(k, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := i < len(mine)/2; ok != want {
+				t.Fatalf("updater %d key %d: present=%v, want %v", u, k, ok, want)
+			}
+		}
+	}
+}

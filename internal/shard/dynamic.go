@@ -21,9 +21,11 @@ import (
 //
 // Routing is pure arithmetic on the immutable hash (no shared memory), so
 // every concurrency property of the single dictionary — lock-free reads,
-// writer-mutex updates — holds per shard and therefore for the composite.
-// Unlike the static Dict, the dynamic composite is not a scheme.Scheme:
-// probe accounting lives inside each shard (see dynamic.Dict.Stats).
+// lock-free CAS claim-slot updates — holds per shard and therefore for the
+// composite: any number of goroutines may Insert, Delete and Contains
+// concurrently. Unlike the static Dict, the dynamic composite is not a
+// scheme.Scheme: probe accounting lives inside each shard (see
+// dynamic.Dict.Stats).
 type DynamicDict struct {
 	route  hash.Pairwise
 	shards []*dynamic.Dict
@@ -92,15 +94,89 @@ func (d *DynamicDict) ContainsTraced(x uint64, r rng.Source, sc *core.QueryScrat
 }
 
 // Insert adds x, touching only its shard; it reports whether the set
-// changed.
+// changed. Safe for any number of concurrent callers.
 func (d *DynamicDict) Insert(x uint64) (bool, error) {
 	return d.shards[d.ShardOf(x)].Insert(x)
 }
 
 // Delete removes x, touching only its shard; it reports whether the set
-// changed.
+// changed. Safe for any number of concurrent callers.
 func (d *DynamicDict) Delete(x uint64) (bool, error) {
 	return d.shards[d.ShardOf(x)].Delete(x)
+}
+
+// InsertBatch inserts every key, fanning the batch out across shards — one
+// goroutine per non-empty shard group, each group's keys applied in order by
+// that shard's lock-free claim path. It returns how many keys actually
+// changed the set. Groups touching distinct shards share no mutable memory
+// at all; within a shard, concurrent claims coordinate by CAS.
+func (d *DynamicDict) InsertBatch(keys []uint64) (int, error) {
+	return d.updateBatch(keys, false)
+}
+
+// DeleteBatch deletes every key with the same shard-parallel fan-out as
+// InsertBatch, returning how many keys actually changed the set.
+func (d *DynamicDict) DeleteBatch(keys []uint64) (int, error) {
+	return d.updateBatch(keys, true)
+}
+
+func (d *DynamicDict) updateBatch(keys []uint64, del bool) (int, error) {
+	groups := d.groupBatch(keys)
+	busy := 0
+	for _, g := range groups {
+		if len(g.keys) > 0 {
+			busy++
+		}
+	}
+	apply := func(shard int, g dynGroup) (int, error) {
+		changed := 0
+		for _, k := range g.keys {
+			var ok bool
+			var err error
+			if del {
+				ok, err = d.shards[shard].Delete(k)
+			} else {
+				ok, err = d.shards[shard].Insert(k)
+			}
+			if err != nil {
+				return changed, err
+			}
+			if ok {
+				changed++
+			}
+		}
+		return changed, nil
+	}
+	if busy <= 1 {
+		for shard, g := range groups {
+			if len(g.keys) > 0 {
+				return apply(shard, g)
+			}
+		}
+		return 0, nil
+	}
+	changed := make([]int, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for shard, g := range groups {
+		if len(g.keys) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard int, g dynGroup) {
+			defer wg.Done()
+			changed[shard], errs[shard] = apply(shard, g)
+		}(shard, g)
+	}
+	wg.Wait()
+	total := 0
+	for shard := range groups {
+		if errs[shard] != nil {
+			return 0, errs[shard]
+		}
+		total += changed[shard]
+	}
+	return total, nil
 }
 
 // Len returns the current key count, summed over shards without locking.

@@ -431,3 +431,57 @@ func TestShardZeroInnerSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestDynamicShardedBatchUpdates checks the shard-parallel update fan-out
+// against sequential semantics: changed counts must equal the number of keys
+// whose membership actually flipped, duplicates within a batch counting once,
+// with the batch spread across all shards.
+func TestDynamicShardedBatchUpdates(t *testing.T) {
+	keys := testKeys(1024, 111)
+	d, err := NewDynamic(keys[:512], 4, dynamic.Params{}, 113)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 fresh keys + 128 already-present keys + 64 in-batch duplicates.
+	batch := append(append([]uint64{}, keys[512:768]...), keys[:128]...)
+	batch = append(batch, keys[512:576]...)
+	changed, err := d.InsertBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 256 {
+		t.Errorf("InsertBatch changed %d, want 256", changed)
+	}
+	if d.Len() != 768 {
+		t.Errorf("Len = %d after batch insert, want 768", d.Len())
+	}
+	// 128 members + 128 non-members + 64 in-batch duplicates.
+	del := append(append([]uint64{}, keys[128:256]...), keys[768:896]...)
+	del = append(del, keys[128:192]...)
+	changed, err = d.DeleteBatch(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 128 {
+		t.Errorf("DeleteBatch changed %d, want 128", changed)
+	}
+	d.Quiesce()
+	if d.Len() != 640 {
+		t.Errorf("Len = %d after batch delete, want 640", d.Len())
+	}
+	src := rng.New(115)
+	out := make([]bool, len(keys))
+	if err := d.ContainsBatch(keys, out, src); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want := (i < 128) || (i >= 256 && i < 768)
+		if out[i] != want {
+			t.Fatalf("Contains(%d) = %v, want %v", k, out[i], want)
+		}
+	}
+	// An empty batch is a no-op on every shard.
+	if changed, err := d.InsertBatch(nil); err != nil || changed != 0 {
+		t.Errorf("empty InsertBatch: changed=%d err=%v", changed, err)
+	}
+}

@@ -1,13 +1,19 @@
 package telemetry
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// DynamicMetrics is the rebuild-side telemetry of one dynamic dictionary
-// (one shard of a sharded dynamic composite, or the whole dictionary when
-// unsharded): epoch publishes, rebuild durations, writer pauses at the
-// delta hard cap, and the buffered-delta depth. All methods are safe for
-// concurrent use; the dictionary's writer lock already serializes most
-// callers, but readers snapshot concurrently.
+	"repro/internal/cellprobe"
+)
+
+// DynamicMetrics is the rebuild- and write-side telemetry of one dynamic
+// dictionary (one shard of a sharded dynamic composite, or the whole
+// dictionary when unsharded): epoch publishes, rebuild durations, writer
+// pauses at the buffer hard cap, the buffered-delta depth, and the
+// lock-free write path's per-claim probe and CAS-retry counts. All methods
+// are safe for any number of concurrent callers; WriteClaim in particular
+// is invoked from the mutex-free claim-slot path by every writer, so its
+// counters are striped per goroutine rather than shared words.
 type DynamicMetrics struct {
 	shard int
 
@@ -18,13 +24,22 @@ type DynamicMetrics struct {
 	deltaDepth atomic.Int64  // current buffered-delta depth
 	deltaHigh  atomic.Uint64 // high-water delta depth since start
 
+	claimProbes *cellprobe.StripedCounter // probes issued by claim walks
+	casRetries  *cellprobe.StripedCounter // claim CASes lost to racing writers
+
 	rebuildNs *LogHistogram // duration of each background/sync rebuild
-	pauseNs   *LogHistogram // writer stalls waiting at the delta hard cap
+	pauseNs   *LogHistogram // writer stalls waiting at the buffer hard cap
 }
 
 // NewDynamicMetrics creates the metrics slot for one shard.
 func NewDynamicMetrics(shard int) *DynamicMetrics {
-	return &DynamicMetrics{shard: shard, rebuildNs: NewLogHistogram(), pauseNs: NewLogHistogram()}
+	return &DynamicMetrics{
+		shard:       shard,
+		claimProbes: cellprobe.NewStripedCounter(),
+		casRetries:  cellprobe.NewStripedCounter(),
+		rebuildNs:   NewLogHistogram(),
+		pauseNs:     NewLogHistogram(),
+	}
 }
 
 // RebuildDone records a completed rebuild that published an epoch of n
@@ -42,9 +57,19 @@ func (m *DynamicMetrics) RebuildFailed(durationNs int64) {
 }
 
 // WriterPaused records one writer stall of pauseNs nanoseconds spent
-// blocked at the buffered-delta hard cap.
+// blocked at the buffer occupancy hard cap.
 func (m *DynamicMetrics) WriterPaused(pauseNs int64) {
 	m.pauseNs.Observe(uint64(pauseNs))
+}
+
+// WriteClaim records one completed claim walk of the lock-free write path:
+// the probes it issued and the CAS races it lost. Called concurrently by
+// every writer; both counters land on per-goroutine stripes.
+func (m *DynamicMetrics) WriteClaim(probes, casRetries uint64) {
+	m.claimProbes.Add(probes)
+	if casRetries > 0 {
+		m.casRetries.Add(casRetries)
+	}
 }
 
 // SetDeltaDepth publishes the current buffered-delta depth and maintains
@@ -59,7 +84,8 @@ func (m *DynamicMetrics) SetDeltaDepth(depth int) {
 	}
 }
 
-// DynamicSnapshot is a point-in-time read of one shard's rebuild metrics.
+// DynamicSnapshot is a point-in-time read of one shard's rebuild and
+// write-path metrics.
 type DynamicSnapshot struct {
 	Shard          int               `json:"shard"`
 	Rebuilds       uint64            `json:"rebuilds"`
@@ -67,6 +93,8 @@ type DynamicSnapshot struct {
 	RebuildFails   uint64            `json:"rebuild_fails"`
 	DeltaDepth     int64             `json:"delta_depth"`
 	DeltaHighWater uint64            `json:"delta_high_water"`
+	ClaimProbes    uint64            `json:"claim_probes"`
+	CASRetries     uint64            `json:"cas_retries"`
 	RebuildNs      HistogramSnapshot `json:"rebuild_ns"`
 	WriterPauseNs  HistogramSnapshot `json:"writer_pause_ns"`
 }
@@ -80,6 +108,8 @@ func (m *DynamicMetrics) Snapshot() DynamicSnapshot {
 		RebuildFails:   m.failures.Load(),
 		DeltaDepth:     m.deltaDepth.Load(),
 		DeltaHighWater: m.deltaHigh.Load(),
+		ClaimProbes:    m.claimProbes.Sum(),
+		CASRetries:     m.casRetries.Sum(),
 		RebuildNs:      m.rebuildNs.Snapshot(),
 		WriterPauseNs:  m.pauseNs.Snapshot(),
 	}
