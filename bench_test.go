@@ -346,26 +346,63 @@ func BenchmarkContainsScratch(b *testing.B) {
 	}
 }
 
-// BenchmarkContainsBatch measures the facade batch path, which amortizes the
-// scratch-pool round trip over the whole slice. Expect 0 allocs per batch.
+// BenchmarkContainsBatch measures the facade batch path — the wavefront
+// scheduler that keeps BatchGroup probe chains in flight behind software
+// prefetches — across batch sizes: small batches barely fill the wavefront,
+// large ones show its steady state. Queries cycle the stored keys when the
+// batch exceeds the key count. Expect 0 allocs per batch.
 func BenchmarkContainsBatch(b *testing.B) {
 	keys := benchKeys(b)
 	d, err := New(keys, WithSeed(8))
 	if err != nil {
 		b.Fatal(err)
 	}
+	for _, batch := range []int{64, 1024, 32768} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			qs := make([]uint64, batch)
+			for i := range qs {
+				qs[i] = keys[i%len(keys)]
+			}
+			out := make([]bool, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.ContainsBatch(qs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Per-key figure: divide ns/op by the batch size.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/key")
+		})
+	}
+}
+
+// BenchmarkContainsBatchGroup sweeps the wavefront width G at a fixed batch
+// size, bracketing the default (8): G=1 is the scalar query-at-a-time
+// reference, and the curve flattens once G covers the core's memory-level
+// parallelism. Answers are identical at every width by contract.
+func BenchmarkContainsBatchGroup(b *testing.B) {
+	keys := benchKeys(b)
 	const batch = 1024
 	out := make([]bool, batch)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := d.ContainsBatch(keys[:batch], out); err != nil {
+	for _, g := range []int{1, 4, 8, 16} {
+		d, err := New(keys, WithSeed(8), WithBatchGroup(g))
+		if err != nil {
 			b.Fatal(err)
 		}
+		b.Run(fmt.Sprintf("G=%d", g), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.ContainsBatch(keys[:batch], out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/key")
+		})
 	}
-	b.StopTimer()
-	// Per-key figure: divide ns/op by the batch size.
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/key")
 }
 
 // BenchmarkExactContention compares the serial and parallel exact contention

@@ -24,7 +24,12 @@
 // changes nothing observable through At/Probe.
 package cellprobe
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/cpu"
+)
 
 // Cell is one b-bit memory cell, b = 128.
 type Cell struct {
@@ -186,6 +191,29 @@ func (t *Table) AtIndex(i int) Cell {
 		panic(fmt.Sprintf("cellprobe: flat index %d out of range %d", i, t.Size()))
 	}
 	return t.read(i/t.width, i%t.width)
+}
+
+// PrefetchCell hints that cell (row, col) will be probed soon, resolving the
+// row's backing (dense or compact block) to the Go value that actually holds
+// the cell and issuing a hardware prefetch for its cache line. A prefetch is
+// not a probe of the cell-probe model: it transfers no value and is never
+// recorded — only the later Probe of the same cell is. Out-of-range or
+// unwritten targets are silently ignored (a hint must never fault).
+func (t *Table) PrefetchCell(row, col int) {
+	if row < 0 || row >= t.rows || col < 0 || col >= t.width {
+		return
+	}
+	if b := t.block[row]; b.values != nil {
+		i := col / b.blk
+		if i >= len(b.values) {
+			i = len(b.values) - 1
+		}
+		cpu.Prefetch(unsafe.Pointer(&b.values[i]))
+		return
+	}
+	if d := t.dense[row]; d != nil {
+		cpu.Prefetch(unsafe.Pointer(&d[col]))
+	}
 }
 
 // Probe performs a recorded query probe of cell (row, col) at the given

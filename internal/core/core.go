@@ -110,6 +110,15 @@ type Params struct {
 	// different worker counts may, however, select different (equally
 	// valid) hash functions.
 	BuildWorkers int
+	// BatchGroup is the wavefront width G of the batch query path
+	// (ContainsBatch): up to G queries are kept in flight, each evaluating
+	// the probe stage it prefetched on the previous round, so the dependent
+	// cache misses of G independent probe chains overlap. 0 selects the
+	// default (8); 1 degenerates to query-at-a-time; values above 64 are
+	// clamped at use. Answers and per-query probe cells are identical for
+	// every G — only throughput and the probe interleaving across the batch
+	// change.
+	BatchGroup int
 }
 
 // DefaultParams returns the paper-faithful defaults described on Params.
@@ -182,6 +191,9 @@ func (p Params) validate() error {
 	if p.BuildWorkers < 0 {
 		return fmt.Errorf("core: build workers %d must be ≥ 0", p.BuildWorkers)
 	}
+	if p.BatchGroup < 0 {
+		return fmt.Errorf("core: batch group %d must be ≥ 0", p.BatchGroup)
+	}
 	return nil
 }
 
@@ -219,6 +231,8 @@ type Dict struct {
 	rho     int
 	strided bool // paper-literal residue-class replica layout
 	compact bool // block-backed replicated rows
+
+	batchGroup int // wavefront width G of the batch query path (0 = default)
 
 	tab *cellprobe.Table
 
@@ -282,8 +296,9 @@ func Build(keys []uint64, p Params, seed uint64) (*Dict, error) {
 	dict := &Dict{
 		n: n, d: d, s: s, r: r, m: m,
 		blkZ: s / r, blkG: s / m,
-		strided: p.Strided,
-		compact: p.Compact,
+		strided:    p.Strided,
+		compact:    p.Compact,
+		batchGroup: p.BatchGroup,
 	}
 	if err := dict.drawHashes(keys, p, rand); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/cellprobe"
@@ -9,16 +10,66 @@ import (
 	"repro/internal/rng"
 )
 
+// The query algorithm is written as a resumable per-query state machine so
+// the batch path can interleave many queries: each stage reads the cells the
+// previous stage prefetched, computes the next probe targets, and issues
+// prefetches for them. Stage names follow the §2.3 phases.
+const (
+	wfIdle  int8 = iota // slot holds no query
+	wfCoef              // next: read the 2d coefficient cells
+	wfZ                 // next: read z_{g(x)}
+	wfGroup             // next: read GBAS + the ρ histogram cells
+	wfPH                // next: read the perfect-hash cell
+	wfData              // next: read the data cell
+)
+
+// Wavefront width G of the batch query path: the default, and the cap above
+// which wider rings stop paying (the load queue is finite and slot state
+// stops fitting in L1).
+const (
+	defaultBatchGroup = 8
+	maxBatchGroup     = 64
+)
+
+// wfSlot is one in-flight query of a wavefront: its pre-drawn replica
+// choices, the state its completed stages computed, and the cell column the
+// next stage will probe. All randomness is drawn at admission — in the same
+// within-query order the sequential path consumes — so interleaving queries
+// never changes which cells any individual query probes.
+type wfSlot struct {
+	x     uint64   // the queried key
+	fsum  uint64   // f(x), computed from the coefficient cells
+	uSpan uint64   // raw 64-bit draw for the perfect-hash replica choice
+	idx   int      // batch index: out[idx] receives the answer
+	stage int8     // next stage to evaluate
+	kz    int      // replica choice within the z block
+	kb    int      // replica choice within the GBAS block
+	hp    int      // group index h′(x)
+	pos   int      // position of bucket h(x) within its group
+	col   int      // column the next single-cell stage probes
+	off   int      // bucket span start (set by wfGroup)
+	span  int      // bucket span width ℓ² (set by wfGroup)
+	log   *[]int32 // per-step capture destination, nil when off
+}
+
 // QueryScratch holds the per-query working memory of Contains: the f and g
-// coefficient buffers and the group-histogram words. A zero QueryScratch is
-// ready to use; buffers grow on first use and are reused afterwards, so a
-// caller that keeps one scratch per goroutine (the facade pools them) pays
-// no heap allocation per query. A scratch must not be shared by concurrent
-// queries.
+// coefficient buffers, the group-histogram words, and the wavefront arena of
+// the batch path. A zero QueryScratch is ready to use; buffers grow on first
+// use and are reused afterwards, so a caller that keeps one scratch per
+// goroutine (the facade pools them) pays no heap allocation per query. A
+// scratch must not be shared by concurrent queries.
 type QueryScratch struct {
 	fc, gc []uint64
 	words  []uint64
 	vec    bitvec.Vector
+
+	// Wavefront arena: wf[i] is one in-flight query; wfCoef carries each
+	// slot's 2d coefficient replica columns, wfHist each slot's ρ histogram
+	// replica choices (overwritten with resolved columns at stage wfZ).
+	wf     []wfSlot
+	wfCoef []int32
+	wfHist []int32
+	src    sliceSource // ContainsBatch's feed, embedded so no interface allocation
 
 	// capture arms per-probe trace capture (StartCapture): probeLog[t]
 	// records the flat cell index probed at step t of the next query. A
@@ -27,6 +78,14 @@ type QueryScratch struct {
 	// branch per probe.
 	capture  bool
 	probeLog []int32
+
+	// batchCap arms per-query capture across a whole batch (StartBatch-
+	// Capture): batchLog[i] records the per-step cells of the query at
+	// batch index i. Each log lives in its own heap box so the pointer a
+	// slot holds stays valid while batchLog itself grows with later
+	// admissions. A test/measurement mode — it allocates.
+	batchCap bool
+	batchLog []*[]int32
 }
 
 // StartCapture arms per-probe capture for the next ContainsScratch call on
@@ -44,12 +103,37 @@ func (sc *QueryScratch) StopCapture() []int32 {
 	return sc.probeLog
 }
 
-// logProbe records cell as the probe target of the given step.
-func (sc *QueryScratch) logProbe(step int, cell int32) {
-	for len(sc.probeLog) <= step {
-		sc.probeLog = append(sc.probeLog, -1)
+// StartBatchCapture arms per-query capture for the next batch answered with
+// this scratch: every admitted query records its per-step flat cell indices
+// under its batch index. The equivalence battery uses it to check that the
+// wavefront probes exactly the cells the sequential path would; unlike the
+// steady-state batch path it allocates (one log per query).
+func (sc *QueryScratch) StartBatchCapture() {
+	sc.batchCap = true
+	sc.batchLog = sc.batchLog[:0]
+}
+
+// StopBatchCapture disarms batch capture and returns the per-query logs,
+// indexed by batch position (nil for queries that never reached this
+// dictionary — e.g. resolved by a dynamic dictionary's buffer). The slices
+// alias scratch memory: valid until the next StartBatchCapture.
+func (sc *QueryScratch) StopBatchCapture() [][]int32 {
+	sc.batchCap = false
+	out := make([][]int32, len(sc.batchLog))
+	for i, box := range sc.batchLog {
+		if box != nil {
+			out[i] = *box
+		}
 	}
-	sc.probeLog[step] = cell
+	return out
+}
+
+// logCell records cell as the probe target of the given step.
+func logCell(log *[]int32, step, cell int) {
+	for len(*log) <= step {
+		*log = append(*log, -1)
+	}
+	(*log)[step] = int32(cell)
 }
 
 // ensure sizes the buffers for a dictionary with degree d and rho histogram
@@ -65,6 +149,58 @@ func (sc *QueryScratch) ensure(d, rho int) {
 	}
 	sc.words = sc.words[:2*rho]
 }
+
+// ensureWave additionally sizes the wavefront arena for g in-flight queries.
+func (sc *QueryScratch) ensureWave(d, rho, g int) {
+	sc.ensure(d, rho)
+	if cap(sc.wf) < g {
+		sc.wf = make([]wfSlot, g)
+	}
+	sc.wf = sc.wf[:g]
+	if n := g * 2 * d; cap(sc.wfCoef) < n {
+		sc.wfCoef = make([]int32, n)
+	}
+	sc.wfCoef = sc.wfCoef[:g*2*d]
+	if n := g * rho; cap(sc.wfHist) < n {
+		sc.wfHist = make([]int32, n)
+	}
+	sc.wfHist = sc.wfHist[:g*rho]
+}
+
+// spanIndex reduces one raw 64-bit draw to a uniform index in [0, span) by
+// fixed-point multiply (the first — and almost always only — iteration of
+// the nearly-divisionless reduction rng.Intn uses). Unlike Intn it consumes
+// exactly one draw regardless of span, which is what lets the wavefront
+// pre-draw a query's whole random budget at admission, before the bucket
+// span is known: Intn's rare rejection loop would consume a data-dependent
+// number of draws and desynchronize the stream. The price is a bias of at
+// most span/2^64 ≈ 10^-15 per draw — invisible to every statistical
+// contention bound (the exact analyzer's UniformSpan model is unchanged).
+func spanIndex(u uint64, span int) int {
+	hi, _ := bits.Mul64(u, uint64(span))
+	return int(hi)
+}
+
+// batchGroupSize resolves the configured wavefront width.
+func (dict *Dict) batchGroupSize() int {
+	g := dict.batchGroup
+	if g <= 0 {
+		g = defaultBatchGroup
+	}
+	if g > maxBatchGroup {
+		g = maxBatchGroup
+	}
+	return g
+}
+
+// BatchGroup returns the wavefront width G the batch query path runs at.
+func (dict *Dict) BatchGroup() int { return dict.batchGroupSize() }
+
+// SetBatchGroup overrides the wavefront width after construction (0 restores
+// the default, values above the cap are clamped) — the hook deserialized
+// dictionaries use, since the wire format carries no query-side tuning. Not
+// safe to call concurrently with queries.
+func (dict *Dict) SetBatchGroup(g int) { dict.batchGroup = g }
 
 // Contains answers the membership query for x using the paper's §2.3
 // four-phase algorithm. Every value it uses is read from table cells via
@@ -87,91 +223,281 @@ func (dict *Dict) Contains(x uint64, r rng.Source) (bool, error) {
 // ContainsScratch is Contains with caller-supplied working memory. After
 // the scratch's first use it performs zero heap allocations, so a caller
 // that reuses one scratch per goroutine gets an allocation-free read path.
+//
+// It runs the same state machine as the wavefront batch path, one query at
+// a time with prefetching off: a query's replica draws, probe cells and
+// step numbers are bit-identical between the two, which is what makes batch
+// answers interchangeable with sequential ones probe for probe.
 func (dict *Dict) ContainsScratch(x uint64, r rng.Source, sc *QueryScratch) (bool, error) {
-	tab := dict.tab
-	d, s := dict.d, dict.s
-	sc.ensure(d, dict.rho)
-
-	// Phase 1: read the 2d coefficient cells (one random replica each),
-	// reconstruct f and g in place, then read z_{g(x)} from a random copy.
-	for i := 0; i < d; i++ {
-		cf, cg := r.Intn(s), r.Intn(s)
-		sc.fc[i] = tab.Probe(i, i, cf).Lo
-		sc.gc[i] = tab.Probe(d+i, d+i, cg).Lo
-		if sc.capture {
-			sc.logProbe(i, int32(tab.Index(i, cf)))
-			sc.logProbe(d+i, int32(tab.Index(d+i, cg)))
+	sc.ensureWave(dict.d, dict.rho, 1)
+	dict.wfAdmitKey(sc, 0, 0, x, r, false)
+	for {
+		done, ans, err := dict.wfStep(sc, 0, false)
+		if done || err != nil {
+			sc.wf[0].stage = wfIdle
+			return ans, err
 		}
 	}
-	gx := int(hash.EvalFromCoef(sc.gc, uint64(dict.r), x))
-	cz := dict.zReplicaCol(gx, r.Intn(dict.blkZ))
-	zv := tab.Probe(2*d, dict.zRow(), cz).Lo
-	if sc.capture {
-		sc.logProbe(2*d, int32(tab.Index(dict.zRow(), cz)))
-	}
-	if zv >= uint64(s) {
-		return false, fmt.Errorf("core: corrupt table: z value %d outside [0, %d)", zv, s)
-	}
-	h := int((hash.EvalFromCoef(sc.fc, uint64(s), x) + zv) % uint64(s))
-	hp := h % dict.m
-	posInGroup := h / dict.m
-
-	// Phase 2: group base address and the group histogram.
-	step := 2*d + 1
-	cb := dict.groupReplicaCol(hp, r.Intn(dict.blkG))
-	gbas := tab.Probe(step, dict.gbasRow(), cb).Lo
-	if sc.capture {
-		sc.logProbe(step, int32(tab.Index(dict.gbasRow(), cb)))
-	}
-	if gbas > uint64(s) {
-		return false, fmt.Errorf("core: corrupt table: group base address %d outside [0, %d]", gbas, s)
-	}
-	for w := 0; w < dict.rho; w++ {
-		step++
-		ch := dict.groupReplicaCol(hp, r.Intn(dict.blkG))
-		c := tab.Probe(step, dict.histRow()+w, ch)
-		if sc.capture {
-			sc.logProbe(step, int32(tab.Index(dict.histRow()+w, ch)))
-		}
-		sc.words[2*w], sc.words[2*w+1] = c.Lo, c.Hi
-	}
-
-	// Phase 3: stream the histogram prefix to locate the bucket's ℓ² cell
-	// span — Σ_{k<pos} ℓ_k² cells past the group base, ℓ_pos² cells wide.
-	sc.vec.Reset(sc.words, dict.rho*128)
-	sumSq, l, err := bitvec.HistogramPrefixSum(&sc.vec, posInGroup+1)
-	if err != nil {
-		return false, fmt.Errorf("core: corrupt table: histogram of group %d: %w", hp, err)
-	}
-	if l == 0 {
-		return false, nil // empty bucket: the key cannot be present
-	}
-	off := int(gbas) + sumSq
-	span := l * l
-	if off+span > s {
-		return false, fmt.Errorf("core: corrupt table: bucket span [%d, %d) exceeds s = %d", off, off+span, s)
-	}
-
-	// Phase 4: perfect hash from a random cell of the span, then the data cell.
-	step++
-	cp := off + r.Intn(span)
-	phc := tab.Probe(step, dict.phRow(), cp)
-	if sc.capture {
-		sc.logProbe(step, int32(tab.Index(dict.phRow(), cp)))
-	}
-	hstar := hash.Pairwise{A: phc.Lo, B: phc.Hi, M: uint64(span)}
-	step++
-	cd := off + int(hstar.Eval(x))
-	dc := tab.Probe(step, dict.dataRow(), cd)
-	if sc.capture {
-		sc.logProbe(step, int32(tab.Index(dict.dataRow(), cd)))
-	}
-	return dc.Hi == occupiedTag && dc.Lo == x, nil
 }
 
-// ContainsBatch answers membership for every keys[i] into out[i], reusing
-// one scratch across the whole batch. out must be at least as long as keys.
-// It stops at the first corrupt-table error.
+// wfAdmitKey loads the query for x into slot, drawing its entire random
+// budget — 2d coefficient replicas, the z and GBAS replicas, ρ histogram
+// replicas, one raw draw for the perfect-hash replica — in the sequential
+// path's within-query order. Queries are admitted in batch order, so the
+// shared source is consumed exactly as a sequential loop would consume it.
+// With pf set it prefetches the 2d coefficient cells the first stage reads.
+func (dict *Dict) wfAdmitKey(sc *QueryScratch, slot, idx int, x uint64, r rng.Source, pf bool) {
+	s := &sc.wf[slot]
+	d := dict.d
+	s.x, s.idx = x, idx
+	base := slot * 2 * d
+	for i := 0; i < d; i++ {
+		sc.wfCoef[base+2*i] = int32(r.Intn(dict.s))
+		sc.wfCoef[base+2*i+1] = int32(r.Intn(dict.s))
+	}
+	s.kz = r.Intn(dict.blkZ)
+	s.kb = r.Intn(dict.blkG)
+	hbase := slot * dict.rho
+	for w := 0; w < dict.rho; w++ {
+		sc.wfHist[hbase+w] = int32(r.Intn(dict.blkG))
+	}
+	s.uSpan = r.Uint64()
+	s.stage = wfCoef
+	s.log = nil
+	if sc.batchCap {
+		for len(sc.batchLog) <= idx {
+			sc.batchLog = append(sc.batchLog, nil)
+		}
+		if sc.batchLog[idx] == nil {
+			sc.batchLog[idx] = new([]int32)
+		}
+		*sc.batchLog[idx] = (*sc.batchLog[idx])[:0]
+		s.log = sc.batchLog[idx]
+	} else if sc.capture {
+		s.log = &sc.probeLog
+	}
+	if pf {
+		tab := dict.tab
+		for i := 0; i < d; i++ {
+			tab.PrefetchCell(i, int(sc.wfCoef[base+2*i]))
+			tab.PrefetchCell(d+i, int(sc.wfCoef[base+2*i+1]))
+		}
+	}
+}
+
+// wfStep evaluates one stage of the query in slot: it probes the cells the
+// previous stage prefetched, advances the slot's state, and (with pf set)
+// prefetches the next stage's cells. It reports done=true when the query
+// retired with answer ans. Probe steps and cells match the §2.3 sequential
+// algorithm exactly.
+func (dict *Dict) wfStep(sc *QueryScratch, slot int, pf bool) (done, ans bool, err error) {
+	s := &sc.wf[slot]
+	tab := dict.tab
+	d := dict.d
+
+	switch s.stage {
+	case wfCoef:
+		// Phase 1a: the 2d coefficient cells (steps 0..2d−1), then derive
+		// f(x) and g(x) and the z replica column.
+		base := slot * 2 * d
+		for i := 0; i < d; i++ {
+			cf, cg := int(sc.wfCoef[base+2*i]), int(sc.wfCoef[base+2*i+1])
+			sc.fc[i] = tab.Probe(i, i, cf).Lo
+			sc.gc[i] = tab.Probe(d+i, d+i, cg).Lo
+			if s.log != nil {
+				logCell(s.log, i, tab.Index(i, cf))
+				logCell(s.log, d+i, tab.Index(d+i, cg))
+			}
+		}
+		gx := int(hash.EvalFromCoef(sc.gc, uint64(dict.r), s.x))
+		s.fsum = hash.EvalFromCoef(sc.fc, uint64(dict.s), s.x)
+		s.col = dict.zReplicaCol(gx, s.kz)
+		if pf {
+			tab.PrefetchCell(dict.zRow(), s.col)
+		}
+		s.stage = wfZ
+
+	case wfZ:
+		// Phase 1b: z_{g(x)} (step 2d) completes h(x); the group and the
+		// histogram columns become known.
+		zv := tab.Probe(2*d, dict.zRow(), s.col).Lo
+		if s.log != nil {
+			logCell(s.log, 2*d, tab.Index(dict.zRow(), s.col))
+		}
+		if zv >= uint64(dict.s) {
+			return false, false, fmt.Errorf("core: corrupt table: z value %d outside [0, %d)", zv, dict.s)
+		}
+		h := int((s.fsum + zv) % uint64(dict.s))
+		s.hp = h % dict.m
+		s.pos = h / dict.m
+		s.col = dict.groupReplicaCol(s.hp, s.kb)
+		hbase := slot * dict.rho
+		for w := 0; w < dict.rho; w++ {
+			sc.wfHist[hbase+w] = int32(dict.groupReplicaCol(s.hp, int(sc.wfHist[hbase+w])))
+		}
+		if pf {
+			tab.PrefetchCell(dict.gbasRow(), s.col)
+			for w := 0; w < dict.rho; w++ {
+				tab.PrefetchCell(dict.histRow()+w, int(sc.wfHist[hbase+w]))
+			}
+		}
+		s.stage = wfGroup
+
+	case wfGroup:
+		// Phase 2+3: group base address (step 2d+1), the ρ histogram cells
+		// (steps 2d+2..2d+1+ρ), and the prefix-sum decode to the bucket's
+		// ℓ² cell span.
+		step := 2*d + 1
+		gbas := tab.Probe(step, dict.gbasRow(), s.col).Lo
+		if s.log != nil {
+			logCell(s.log, step, tab.Index(dict.gbasRow(), s.col))
+		}
+		if gbas > uint64(dict.s) {
+			return false, false, fmt.Errorf("core: corrupt table: group base address %d outside [0, %d]", gbas, dict.s)
+		}
+		hbase := slot * dict.rho
+		for w := 0; w < dict.rho; w++ {
+			step++
+			ch := int(sc.wfHist[hbase+w])
+			c := tab.Probe(step, dict.histRow()+w, ch)
+			if s.log != nil {
+				logCell(s.log, step, tab.Index(dict.histRow()+w, ch))
+			}
+			sc.words[2*w], sc.words[2*w+1] = c.Lo, c.Hi
+		}
+		sc.vec.Reset(sc.words, dict.rho*128)
+		sumSq, l, herr := bitvec.HistogramPrefixSum(&sc.vec, s.pos+1)
+		if herr != nil {
+			return false, false, fmt.Errorf("core: corrupt table: histogram of group %d: %w", s.hp, herr)
+		}
+		if l == 0 {
+			return true, false, nil // empty bucket: the key cannot be present
+		}
+		off := int(gbas) + sumSq
+		span := l * l
+		if off+span > dict.s {
+			return false, false, fmt.Errorf("core: corrupt table: bucket span [%d, %d) exceeds s = %d", off, off+span, dict.s)
+		}
+		s.off, s.span = off, span
+		s.col = off + spanIndex(s.uSpan, span)
+		if pf {
+			tab.PrefetchCell(dict.phRow(), s.col)
+		}
+		s.stage = wfPH
+
+	case wfPH:
+		// Phase 4a: the perfect hash from a random cell of the span
+		// (step 2d+2+ρ).
+		step := 2*d + 2 + dict.rho
+		phc := tab.Probe(step, dict.phRow(), s.col)
+		if s.log != nil {
+			logCell(s.log, step, tab.Index(dict.phRow(), s.col))
+		}
+		hstar := hash.Pairwise{A: phc.Lo, B: phc.Hi, M: uint64(s.span)}
+		s.col = s.off + int(hstar.Eval(s.x))
+		if pf {
+			tab.PrefetchCell(dict.dataRow(), s.col)
+		}
+		s.stage = wfData
+
+	case wfData:
+		// Phase 4b: the data cell (step 2d+3+ρ) answers the query.
+		step := 2*d + 3 + dict.rho
+		dc := tab.Probe(step, dict.dataRow(), s.col)
+		if s.log != nil {
+			logCell(s.log, step, tab.Index(dict.dataRow(), s.col))
+		}
+		return true, dc.Hi == occupiedTag && dc.Lo == s.x, nil
+	}
+	return false, false, nil
+}
+
+// BatchSource feeds queries to ContainsWavefront in batch order: NextQuery
+// returns the next pending query's output index and key, or ok=false when
+// the batch is exhausted. A source may resolve some queries itself (the
+// dynamic dictionary's buffer pre-check) and hand the wavefront only the
+// rest; because the wavefront admits queries — and therefore draws their
+// randomness — strictly in the order the source yields them, the shared
+// random stream is consumed exactly as a sequential loop over the batch
+// would consume it.
+type BatchSource interface {
+	NextQuery() (idx int, key uint64, ok bool)
+}
+
+// sliceSource feeds a plain key slice, embedded in QueryScratch so the
+// interface conversion in ContainsBatch costs no allocation.
+type sliceSource struct {
+	keys []uint64
+	pos  int
+}
+
+func (s *sliceSource) NextQuery() (int, uint64, bool) {
+	if s.pos >= len(s.keys) {
+		return 0, 0, false
+	}
+	i := s.pos
+	s.pos++
+	return i, s.keys[i], true
+}
+
+// ContainsWavefront answers every query src yields into out[idx] using a
+// wavefront of up to G = BatchGroup in-flight queries: per round, each live
+// query evaluates the stage whose cells were prefetched on the previous
+// round and prefetches its next stage, so the dependent cache misses of G
+// probe chains overlap instead of serializing. Retired slots are refilled
+// from src until it is exhausted.
+//
+// Answers, per-query probe cells and step numbers are bit-identical to
+// calling ContainsScratch per key with the same source — only the order of
+// probes across the batch changes. out must be long enough for every index
+// src yields. It stops at the first corrupt-table error; queries in flight
+// at that point are abandoned.
+func (dict *Dict) ContainsWavefront(src BatchSource, out []bool, r rng.Source, sc *QueryScratch) error {
+	if sc == nil {
+		sc = new(QueryScratch)
+	}
+	g := dict.batchGroupSize()
+	sc.ensureWave(dict.d, dict.rho, g)
+	for i := 0; i < g; i++ {
+		sc.wf[i].stage = wfIdle
+	}
+	live := 0
+	for i := 0; i < g; i++ {
+		idx, x, ok := src.NextQuery()
+		if !ok {
+			break
+		}
+		dict.wfAdmitKey(sc, i, idx, x, r, true)
+		live++
+	}
+	for live > 0 {
+		for i := 0; i < g; i++ {
+			if sc.wf[i].stage == wfIdle {
+				continue
+			}
+			done, ans, err := dict.wfStep(sc, i, true)
+			if err != nil {
+				return err
+			}
+			if !done {
+				continue
+			}
+			out[sc.wf[i].idx] = ans
+			if idx, x, ok := src.NextQuery(); ok {
+				dict.wfAdmitKey(sc, i, idx, x, r, true)
+			} else {
+				sc.wf[i].stage = wfIdle
+				live--
+			}
+		}
+	}
+	return nil
+}
+
+// ContainsBatch answers membership for every keys[i] into out[i] through
+// the wavefront scheduler (see ContainsWavefront), reusing one scratch
+// across the whole batch. out must be at least as long as keys. It stops at
+// the first corrupt-table error.
 func (dict *Dict) ContainsBatch(keys []uint64, out []bool, r rng.Source, sc *QueryScratch) error {
 	if len(out) < len(keys) {
 		return fmt.Errorf("core: ContainsBatch output length %d < %d keys", len(out), len(keys))
@@ -179,14 +505,10 @@ func (dict *Dict) ContainsBatch(keys []uint64, out []bool, r rng.Source, sc *Que
 	if sc == nil {
 		sc = new(QueryScratch)
 	}
-	for i, x := range keys {
-		ok, err := dict.ContainsScratch(x, r, sc)
-		if err != nil {
-			return err
-		}
-		out[i] = ok
-	}
-	return nil
+	sc.src = sliceSource{keys: keys}
+	err := dict.ContainsWavefront(&sc.src, out, r, sc)
+	sc.src = sliceSource{}
+	return err
 }
 
 // ProbeSpec returns the exact per-step probe distribution P_t(x, ·) of the

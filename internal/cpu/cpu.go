@@ -1,0 +1,14 @@
+// Package cpu exposes the few architecture-specific hints the query path
+// uses. Its only export today is Prefetch, a software prefetch of one cache
+// line: the batch query path's wavefront scheduler (internal/core) issues it
+// for the *next* probe target of every in-flight query before evaluating the
+// current one, so the hardware overlaps the cache misses of G independent
+// probe chains instead of serializing them.
+//
+// A prefetch is a hint, not a memory operation of the cell-probe model: it
+// transfers no value, changes no observable state, and is never recorded as
+// a probe. On architectures without an implemented stub (anything other than
+// amd64 and arm64) Prefetch is a portable no-op and the wavefront degrades
+// to plain interleaved execution — still correct, just without the
+// memory-level parallelism boost.
+package cpu

@@ -1,0 +1,34 @@
+package cpu
+
+import (
+	"runtime"
+	"testing"
+	"unsafe"
+)
+
+// TestPrefetch exercises the stub on a live allocation: a prefetch is a pure
+// hint, so the only observable contract is that it neither faults nor
+// perturbs the data it targets.
+func TestPrefetch(t *testing.T) {
+	buf := make([]uint64, 1024)
+	for i := range buf {
+		buf[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	for i := 0; i < len(buf); i += 8 {
+		Prefetch(unsafe.Pointer(&buf[i]))
+	}
+	for i := range buf {
+		if buf[i] != uint64(i)*0x9e3779b97f4a7c15 {
+			t.Fatalf("prefetch perturbed buf[%d]", i)
+		}
+	}
+}
+
+// TestHavePrefetch pins the constant to the architectures carrying an asm
+// stub, so a new port that forgets the build tags fails loudly.
+func TestHavePrefetch(t *testing.T) {
+	want := runtime.GOARCH == "amd64" || runtime.GOARCH == "arm64"
+	if HavePrefetch != want {
+		t.Fatalf("HavePrefetch = %v on %s, want %v", HavePrefetch, runtime.GOARCH, want)
+	}
+}

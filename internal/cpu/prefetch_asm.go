@@ -1,0 +1,20 @@
+//go:build amd64 || arm64
+
+package cpu
+
+import "unsafe"
+
+// HavePrefetch reports whether Prefetch emits a real hardware hint on this
+// architecture (true here; the portable fallback is a no-op).
+const HavePrefetch = true
+
+// prefetch is implemented in prefetch_amd64.s / prefetch_arm64.s.
+//
+//go:noescape
+func prefetch(p unsafe.Pointer)
+
+// Prefetch hints that the cache line containing p will be read soon
+// (prefetcht0 on amd64, PRFM PLDL1KEEP on arm64). It performs no memory
+// access in the cell-probe model's sense: no value is transferred and no
+// probe is recorded.
+func Prefetch(p unsafe.Pointer) { prefetch(p) }

@@ -1,0 +1,15 @@
+//go:build !amd64 && !arm64
+
+package cpu
+
+import "unsafe"
+
+// HavePrefetch reports whether Prefetch emits a real hardware hint on this
+// architecture (false here: no asm stub, so Prefetch is a no-op and the
+// wavefront scheduler runs without memory-level-parallelism hints).
+const HavePrefetch = false
+
+// Prefetch is the portable fallback: a no-op. The wavefront batch path
+// stays correct — interleaving alone still overlaps some latency on
+// out-of-order cores — it just loses the explicit hint.
+func Prefetch(p unsafe.Pointer) { _ = p }

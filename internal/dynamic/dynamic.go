@@ -305,6 +305,7 @@ type Dict struct {
 	casRetries  *cellprobe.StripedCounter
 	updates     atomic.Int64 // state-changing Insert/Delete calls
 	scratch     sync.Pool    // *core.QueryScratch reused across Contains calls
+	batch       sync.Pool    // *batchState reused across ContainsBatch calls
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -332,6 +333,7 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 		casRetries:  cellprobe.NewStripedCounter(),
 	}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
+	d.batch.New = func() any { return new(batchState) }
 	d.cond = sync.NewCond(&d.mu)
 	if err := scheme.ValidateKeys(initial); err != nil {
 		return nil, fmt.Errorf("dynamic: %w", err)
@@ -641,27 +643,104 @@ func (d *Dict) containsEpoch(e *epoch, x uint64, r rng.Source, sc *core.QueryScr
 	return e.base.ContainsScratch(x, r, sc)
 }
 
+// batchCursor feeds a batch through the epoch's buffer pre-check and hands
+// the static wavefront only the queries the buffer cannot resolve. It walks
+// the keys in batch order and performs, for each key, exactly the probe and
+// randomness sequence the sequential path performs — one buffer parameter
+// draw, the chain walk (no draws) — before either writing the answer
+// directly (buffer hit or tombstone) or yielding the key for wavefront
+// admission, where its static random budget is drawn immediately. The
+// shared random stream is therefore consumed in exactly sequential order.
+type batchCursor struct {
+	d    *Dict
+	e    *epoch
+	r    rng.Source
+	keys []uint64
+	out  []bool
+	pos  int
+	err  error
+}
+
+func (c *batchCursor) NextQuery() (int, uint64, bool) {
+	for c.pos < len(c.keys) && c.err == nil {
+		i := c.pos
+		c.pos++
+		x := c.keys[i]
+		b := c.e.buf
+		h := b.params(c.r)
+		_, tag, found, probes, err := b.find(x, h)
+		if err != nil {
+			c.err = err
+			return 0, 0, false
+		}
+		c.d.readProbes.Add(probes + 1) // chain + the parameter probe
+		if found {
+			switch tag {
+			case slotInserted:
+				c.out[i] = true
+				continue
+			case slotDeleted:
+				c.out[i] = false
+				continue
+			}
+		}
+		c.d.readProbes.Add(uint64(c.e.base.MaxProbes()))
+		return i, x, true
+	}
+	return 0, 0, false
+}
+
+// batchState bundles the per-batch working memory — the core scratch with
+// its wavefront arena plus the buffer cursor — into one poolable unit.
+type batchState struct {
+	sc  core.QueryScratch
+	cur batchCursor
+}
+
 // ContainsBatch answers membership for every keys[i] into out[i]. The whole
 // batch runs against a single epoch snapshot loaded once up front — one
 // atomic pointer load and one scratch fetch amortized over the batch — so
 // concurrent updates that publish a new epoch mid-batch are not observed.
-// out must be at least as long as keys. It stops at the first corrupt-table
-// error.
+// Queries the buffer cannot resolve flow through the static dictionary's
+// wavefront scheduler (core.ContainsWavefront), overlapping the cache
+// misses of up to BatchGroup probe chains; answers and per-query probes are
+// identical to a sequential loop over the batch. out must be at least as
+// long as keys. It stops at the first corrupt-buffer or corrupt-table
+// error (queries in flight at that point are abandoned).
 func (d *Dict) ContainsBatch(keys []uint64, out []bool, r rng.Source) error {
 	if len(out) < len(keys) {
 		return fmt.Errorf("dynamic: ContainsBatch output length %d < %d keys", len(out), len(keys))
 	}
-	e := d.cur.Load()
-	sc := d.scratch.Get().(*core.QueryScratch)
-	defer d.scratch.Put(sc)
-	for i, x := range keys {
-		ok, err := d.containsEpoch(e, x, r, sc)
-		if err != nil {
-			return err
-		}
-		out[i] = ok
+	st := d.batch.Get().(*batchState)
+	err := d.containsBatchEpoch(d.cur.Load(), keys, out, r, st)
+	st.cur = batchCursor{} // drop epoch/slice references before pooling
+	d.batch.Put(st)
+	return err
+}
+
+// ContainsBatchScratch is ContainsBatch with caller-supplied working
+// memory, pinning the current epoch for the whole batch. The equivalence
+// battery uses it with a batch-capture-armed scratch to compare the static
+// probe cells of wavefront and sequential answers (buffer probes are not
+// captured — their cell indices are epoch-local).
+func (d *Dict) ContainsBatchScratch(keys []uint64, out []bool, r rng.Source, sc *core.QueryScratch) error {
+	if len(out) < len(keys) {
+		return fmt.Errorf("dynamic: ContainsBatch output length %d < %d keys", len(out), len(keys))
 	}
-	return nil
+	e := d.cur.Load()
+	cur := batchCursor{d: d, e: e, r: r, keys: keys, out: out}
+	if err := e.base.ContainsWavefront(&cur, out, r, sc); err != nil {
+		return err
+	}
+	return cur.err
+}
+
+func (d *Dict) containsBatchEpoch(e *epoch, keys []uint64, out []bool, r rng.Source, st *batchState) error {
+	st.cur = batchCursor{d: d, e: e, r: r, keys: keys, out: out}
+	if err := e.base.ContainsWavefront(&st.cur, out, r, &st.sc); err != nil {
+		return err
+	}
+	return st.cur.err
 }
 
 // Insert adds x. It reports whether the dictionary changed; crossing the

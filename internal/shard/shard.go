@@ -254,7 +254,9 @@ func (d *Dict) groupBatch(keys []uint64, r rng.Source) []group {
 }
 
 // answerGroup answers one shard's group, batching through the inner
-// dictionary's own batch path when it has one.
+// dictionary's own batch path when it has one — for core dictionaries that
+// is the wavefront scheduler, so a sharded batch gets memory-level
+// parallelism within each shard on top of the cross-shard fan-out.
 func (d *Dict) answerGroup(shard int, g group, out []bool, r rng.Source) error {
 	if len(g.keys) == 0 {
 		return nil

@@ -204,6 +204,24 @@ func WithShards(p int) Option {
 	}
 }
 
+// WithBatchGroup sets the wavefront width G ∈ [1, 64] of the batch query
+// path: ContainsBatch keeps up to G queries in flight, each evaluating the
+// probe stage it software-prefetched on the previous round, so the dependent
+// cache misses of G independent probe chains overlap instead of serializing.
+// The default (8) suits current cores; 1 degenerates to query-at-a-time.
+// Answers and per-query probe cells are identical for every G — the paper's
+// probe distributions, and therefore every contention bound, are unchanged —
+// only throughput and the probe interleaving across a batch differ.
+func WithBatchGroup(g int) Option {
+	return func(c *opterr) {
+		if g < 1 || g > 64 {
+			c.err = fmt.Errorf("lcds: batch group %d outside [1, 64]", g)
+			return
+		}
+		c.o.params.BatchGroup = g
+	}
+}
+
 // New builds a dictionary over the given distinct keys (each < MaxKey).
 // Construction takes expected O(n) time; the keys slice is not retained.
 func New(keys []uint64, opts ...Option) (*Dict, error) {
@@ -435,6 +453,8 @@ func Read(r io.Reader, opts ...Option) (*Dict, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The wire format carries no query-side tuning; apply it post-read.
+	inner.SetBatchGroup(cfg.o.params.BatchGroup)
 	d := newDict(inner, cfg.o.seed, cfg.o.querySource())
 	if cfg.o.telem != nil {
 		d.installTelemetry(*cfg.o.telem)

@@ -39,6 +39,27 @@ func TestContainsZeroAlloc(t *testing.T) {
 		t.Fatalf("core ContainsScratch: %v allocs/op, want 0", allocs)
 	}
 
+	// Non-pooled wavefront batch path: explicit scratch whose arena is
+	// grown once, then reused — the scheduler itself must not allocate at
+	// any width, including the widest.
+	d16, err := New(keys, WithSeed(9), WithBatchGroup(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := keys[:256]
+	out := make([]bool, len(batch))
+	bsc := new(core.QueryScratch)
+	if err := d16.inner.ContainsBatch(batch, out, r, bsc); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := d16.inner.ContainsBatch(batch, out, r, bsc); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("core ContainsBatch wavefront: %v allocs per batch, want 0", allocs)
+	}
+
 	assertPooledPathsZeroAlloc(t, d, keys)
 }
 
