@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/rng"
 	"repro/internal/shard"
+	"repro/internal/workload"
 )
 
 // benchConfig scales the experiment suite for benchmarking. Set the
@@ -563,6 +564,47 @@ func BenchmarkDynamicWriterScaling(b *testing.B) {
 			b.StopTimer()
 			d.Quiesce()
 		})
+	}
+	// Hot-set variants: the same pure-writer storm, but 90% of the churn
+	// lands on a rotating 8-key point mass — the workload where CAS claims
+	// collide hardest. absorb=true runs the two-phase write protocol
+	// (WithWriteAbsorption), absorb=false the plain claim path; the pair is
+	// the benchmark-form of the mixed_hot_* vs mixed_hot_cas_* BENCH fields.
+	for _, g := range benchGoroutineCounts() {
+		for _, absorb := range []bool{false, true} {
+			b.Run(fmt.Sprintf("hot/writers=%d/absorb=%v", g, absorb), func(b *testing.B) {
+				opts := []Option{WithSeed(8)}
+				if absorb {
+					opts = append(opts, WithWriteAbsorption())
+				}
+				d, err := NewDynamic(resident, 0.5, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				drive, err := workload.NewRotatingHotSet(churn, 8, 1<<14, 0.9, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runFanOut(b, g, func(seed uint64, n int) {
+					r := rng.New(seed)
+					for i := 0; i < n; i++ {
+						k := drive.Next()
+						var err error
+						if r.Intn(2) == 0 {
+							_, err = d.Insert(k)
+						} else {
+							_, err = d.Delete(k)
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				d.Quiesce()
+			})
+		}
 	}
 }
 

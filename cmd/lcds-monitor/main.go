@@ -70,14 +70,27 @@ type driftState struct {
 	Queries    uint64              `json:"queries_at_compute"`
 }
 
+// queryDrive is the shared query schedule: a WeightedDrive for the static
+// distributions, a RotatingHotSet for -dist rotating:<hot>:<window>.
+type queryDrive interface {
+	Next() uint64
+}
+
 type server struct {
 	d      dict
 	static *lcds.Dict // nil in -dynamic mode (no exact comparison there)
+	// dyn is the dynamic dictionary in -dynamic mode (nil otherwise); absorb
+	// records whether the two-phase write protocol is armed, so -selfcheck
+	// knows to drive and verify the absorbed path.
+	dyn    *lcds.DynamicDict
+	absorb bool
 	keys   []uint64
-	// drive is the weighted query schedule (-dist); support is its realized
-	// weighted support, the distribution the exact comparison runs under.
-	// Both are nil for servers that only answer ad-hoc queries (tests).
-	drive   *workload.WeightedDrive
+	// drive is the query schedule (-dist); support is its realized weighted
+	// support, the distribution the exact comparison runs under. support is
+	// nil when the schedule has no stationary distribution (rotating hot
+	// set), which also disables the exact-Φ drift. Both are nil for servers
+	// that only answer ad-hoc queries (tests).
+	drive   queryDrive
 	support []lcds.WeightedKey
 	drift   atomic.Pointer[driftState]
 }
@@ -99,7 +112,26 @@ func parseDist(name string, keys []uint64) ([]dist.Weighted, error) {
 	case name == "point":
 		return dist.PointMass{Key: keys[0]}.Support(), nil
 	}
-	return nil, fmt.Errorf("unknown -dist %q (want uniform, zipf:<s>, or point)", name)
+	return nil, fmt.Errorf("unknown -dist %q (want uniform, zipf:<s>, point, or rotating:<hot>:<window>)", name)
+}
+
+// parseRotating resolves "rotating:<hot>:<window>" to a RotatingHotSet over
+// the member keys (hot keys carry 90% of the traffic, rotating every window
+// queries), or returns (nil, nil) when name is not a rotating spec.
+func parseRotating(name string, keys []uint64, seed uint64) (*workload.RotatingHotSet, error) {
+	if !strings.HasPrefix(name, "rotating:") {
+		return nil, nil
+	}
+	parts := strings.Split(strings.TrimPrefix(name, "rotating:"), ":")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad -dist %q (want rotating:<hot>:<window>)", name)
+	}
+	hot, err1 := strconv.Atoi(parts[0])
+	window, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("bad -dist %q (want rotating:<hot>:<window>)", name)
+	}
+	return workload.NewRotatingHotSet(keys, hot, window, 0.9, seed^0xd157)
 }
 
 func main() {
@@ -107,11 +139,12 @@ func main() {
 	n := flag.Int("n", 8192, "member key count")
 	shards := flag.Int("shards", 1, "shard count (≥ 2 enables the sharded composite)")
 	dynamic := flag.Bool("dynamic", false, "serve a dynamic (insert/delete) dictionary")
+	absorb := flag.Bool("absorb", false, "dynamic mode: enable two-phase write absorption (hot keys soak into split-phase overlays)")
 	epsilon := flag.Float64("epsilon", 0.1, "dynamic buffer fraction")
 	seed := flag.Uint64("seed", 1, "construction seed")
 	sample := flag.Int("sample", 1, "probe sampling rate: count 1 in k probes (rounded to a power of two)")
 	adaptive := flag.Float64("adaptive", 0, "self-tune the sampling factor toward this recorded-probe rate per second (0 = fixed -sample)")
-	distName := flag.String("dist", "uniform", "query distribution: uniform, zipf:<s>, or point")
+	distName := flag.String("dist", "uniform", "query distribution: uniform, zipf:<s>, point, or rotating:<hot>:<window>")
 	traceEvery := flag.Int("trace-every", 1024, "capture a full probe trace for 1 in k queries (0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 256, "trace ring-buffer capacity")
 	topK := flag.Int("topk", 10, "hottest cells to report")
@@ -138,26 +171,39 @@ func main() {
 		opts = append(opts, lcds.WithShards(*shards))
 	}
 
-	support, err := parseDist(*distName, keys)
-	if err != nil {
+	srv := &server{keys: keys, absorb: *absorb}
+	if rot, err := parseRotating(*distName, keys, *seed); err != nil {
 		fatal(err)
-	}
-	drive, err := workload.NewWeightedDrive(support, len(keys), *seed^0xd157)
-	if err != nil {
-		fatal(err)
-	}
-	srv := &server{keys: keys, drive: drive}
-	for _, w := range drive.Realized() {
-		srv.support = append(srv.support, lcds.WeightedKey{Key: w.Key, P: w.P})
+	} else if rot != nil {
+		// No stationary distribution: drive the rotation, skip the exact-Φ
+		// comparison (srv.support stays nil).
+		srv.drive = rot
+	} else {
+		support, err := parseDist(*distName, keys)
+		if err != nil {
+			fatal(err)
+		}
+		drive, err := workload.NewWeightedDrive(support, len(keys), *seed^0xd157)
+		if err != nil {
+			fatal(err)
+		}
+		srv.drive = drive
+		for _, w := range drive.Realized() {
+			srv.support = append(srv.support, lcds.WeightedKey{Key: w.Key, P: w.P})
+		}
 	}
 	if *dynamic {
+		if *absorb {
+			opts = append(opts, lcds.WithWriteAbsorption())
+		}
 		dd, err := lcds.NewDynamic(keys, *epsilon, opts...)
 		if err != nil {
 			fatal(err)
 		}
 		srv.d = dynAdapter{dd}
+		srv.dyn = dd
 		if *churn > 0 && !*selfcheck {
-			go churnLoop(dd, keys, *seed, *churn)
+			go churnLoop(dd, keys, *seed, *churn, *absorb)
 		}
 	} else {
 		sd, err := lcds.New(keys, opts...)
@@ -165,7 +211,9 @@ func main() {
 			fatal(err)
 		}
 		srv.d = sd
-		srv.static = sd
+		if srv.support != nil {
+			srv.static = sd
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -323,8 +371,11 @@ func (s *server) computeDrift() {
 
 // churnLoop exercises the dynamic update path: it inserts a disjoint block
 // of fresh keys and deletes it again, paced at rate ops/second, driving
-// epoch rebuilds and the rebuild/pause metrics.
-func churnLoop(d *lcds.DynamicDict, member []uint64, seed uint64, rate int) {
+// epoch rebuilds and the rebuild/pause metrics. With hot (the -absorb
+// flag), the churn concentrates on an 8-key block flipped over and over —
+// the point-mass write skew the classifier is there to detect — so the
+// absorbed-write and phase series move on a live monitor.
+func churnLoop(d *lcds.DynamicDict, member []uint64, seed uint64, rate int, hot bool) {
 	memberSet := make(map[uint64]bool, len(member))
 	for _, k := range member {
 		memberSet[k] = true
@@ -338,6 +389,9 @@ func churnLoop(d *lcds.DynamicDict, member []uint64, seed uint64, rate int) {
 		}
 	}
 	pace := time.Second / time.Duration(rate)
+	if hot {
+		fresh = fresh[:8]
+	}
 	for {
 		for _, k := range fresh {
 			d.Insert(k)
@@ -432,6 +486,39 @@ func runSelfcheck(s *server, mux *http.ServeMux) error {
 		fmt.Printf("# selfcheck: adaptive sampling converged at k=%d\n", k)
 	}
 	s.computeDrift()
+
+	if s.dyn != nil && s.absorb {
+		// Absorbed-path check: flip a 4-key hot block hard enough for the
+		// classifier to promote it, then verify the two-phase counters moved
+		// before the exposition is scraped.
+		hot := s.keys[:4]
+		for i := 0; i < 4096; i++ {
+			k := hot[i%len(hot)]
+			var err error
+			if (i/len(hot))%2 == 0 {
+				_, err = s.dyn.Delete(k)
+			} else {
+				_, err = s.dyn.Insert(k)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		s.dyn.Quiesce()
+		st := s.dyn.Stats()
+		if st.AbsorbedWrites == 0 || st.PhaseSeals == 0 {
+			return fmt.Errorf("selfcheck: hot churn moved no two-phase counters (absorbed=%d seals=%d)",
+				st.AbsorbedWrites, st.PhaseSeals)
+		}
+		// Restore the flipped block so the exposition's key gauge stays honest.
+		for _, k := range hot {
+			if _, err := s.dyn.Insert(k); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("# selfcheck: absorbed %d writes across %d phase seals (hot keys now %d)\n",
+			st.AbsorbedWrites, st.PhaseSeals, st.HotKeys)
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -153,11 +153,12 @@ func TestWeightedDriftExposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.drive, err = workload.NewWeightedDrive(support, n, 7^0xd157)
+	drive, err := workload.NewWeightedDrive(support, n, 7^0xd157)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, w := range s.drive.Realized() {
+	s.drive = drive
+	for _, w := range drive.Realized() {
 		s.support = append(s.support, lcds.WeightedKey{Key: w.Key, P: w.P})
 	}
 	for i := 0; i < passes*n; i++ {
@@ -213,5 +214,78 @@ func TestAdaptiveExposition(t *testing.T) {
 	}
 	if !strings.Contains(body, "lcds_sampling_adaptive 1") {
 		t.Error("lcds_sampling_adaptive gauge not set")
+	}
+}
+
+// TestParseRotating pins the rotating:<hot>:<window> grammar.
+func TestParseRotating(t *testing.T) {
+	keys := genKeys(64, 5)
+	rot, err := parseRotating("rotating:4:512", keys, 5)
+	if err != nil || rot == nil {
+		t.Fatalf("rotating:4:512: %v %v", rot, err)
+	}
+	if rot, err := parseRotating("zipf:1.2", keys, 5); rot != nil || err != nil {
+		t.Fatalf("non-rotating spec should pass through, got %v %v", rot, err)
+	}
+	for _, bad := range []string{"rotating:", "rotating:4", "rotating:x:512", "rotating:4:x", "rotating:0:512", "rotating:4:0"} {
+		if _, err := parseRotating(bad, keys, 5); err == nil {
+			t.Errorf("-dist %q accepted", bad)
+		}
+	}
+}
+
+// TestAbsorbedExposition drives hot churn on an absorbing dynamic dictionary
+// and checks the two-phase series surface with nonzero values, and that the
+// unconditional headers keep the RequiredMetrics contract in static mode.
+func TestAbsorbedExposition(t *testing.T) {
+	keys := genKeys(2048, 13)
+	dd, err := lcds.NewDynamic(keys, 0.25, lcds.WithSeed(13),
+		lcds.WithTelemetry(lcds.TelemetryConfig{}), lcds.WithWriteAbsorption())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := keys[:4]
+	for i := 0; i < 4096; i++ {
+		k := hot[i%len(hot)]
+		if (i/len(hot))%2 == 0 {
+			_, err = dd.Delete(k)
+		} else {
+			_, err = dd.Insert(k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dd.Quiesce()
+	st := dd.Stats()
+	if st.AbsorbedWrites == 0 || st.PhaseSeals == 0 {
+		t.Fatalf("hot churn never engaged absorption: %+v", st)
+	}
+	s := &server{d: dynAdapter{dd}, keys: keys}
+	s.d.Contains(keys[0])
+	rec := httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{"lcds_absorbed_writes_total{shard=\"0\"}",
+		"lcds_phase_seals_total{shard=\"0\"}", "lcds_phase_hot_keys{shard=\"0\"}",
+		"lcds_phase_split{shard=\"0\"}"} {
+		if !strings.Contains(body, name) {
+			t.Errorf("absorbed exposition missing %s", name)
+		}
+	}
+	if strings.Contains(body, "lcds_absorbed_writes_total{shard=\"0\"} 0\n") {
+		t.Error("absorbed counter still zero after hot churn")
+	}
+
+	// Static mode: no dynamic series, but the headers keep every
+	// RequiredMetrics name present.
+	stc := newTestServer(t, 256)
+	rec = httptest.NewRecorder()
+	stc.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body = rec.Body.String()
+	for _, name := range RequiredMetrics {
+		if !strings.Contains(body, name) {
+			t.Errorf("static exposition missing %s", name)
+		}
 	}
 }

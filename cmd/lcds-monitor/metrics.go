@@ -27,6 +27,11 @@ var RequiredMetrics = []string{
 	"lcds_uptime_seconds",
 	"lcds_latency_ns",
 	"lcds_batch_latency_ns",
+	"lcds_absorbed_writes_total",
+	"lcds_phase_seals_total",
+	"lcds_phase_absorbed_total",
+	"lcds_phase_hot_keys",
+	"lcds_phase_split",
 }
 
 // writeMetrics renders a telemetry snapshot in the Prometheus text
@@ -78,8 +83,30 @@ func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
 	summary("lcds_latency_ns", "Contains latency in nanoseconds (log2 buckets; quantiles are bucket upper bounds).", w, s.Latency)
 	summary("lcds_batch_latency_ns", "ContainsBatch latency in nanoseconds per batch.", w, s.BatchLatency)
 
+	// Two-phase write-absorption series. The headers are unconditional so the
+	// RequiredMetrics contract holds in every configuration; the labeled
+	// samples only exist in dynamic mode (one per shard), like the rebuild
+	// series below.
+	header := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	header("lcds_absorbed_writes_total", "Writes soaked wait-free by split-phase hot-key overlays.", "counter")
+	header("lcds_phase_seals_total", "Write-absorption phase boundaries sealed by epoch rebuilds.", "counter")
+	header("lcds_phase_absorbed_total", "Absorbed operations reconciled into snapshots at phase seals.", "counter")
+	header("lcds_phase_hot_keys", "Hot keys absorbed by the current phase's overlay.", "gauge")
+	header("lcds_phase_split", "1 while the shard runs a split phase (non-empty hot set).", "gauge")
+
 	for _, d := range s.Dynamic {
 		sh := fmt.Sprintf("{shard=\"%d\"}", d.Shard)
+		split := 0
+		if d.SplitPhase {
+			split = 1
+		}
+		fmt.Fprintf(w, "lcds_absorbed_writes_total%s %d\n", sh, d.AbsorbedWrites)
+		fmt.Fprintf(w, "lcds_phase_seals_total%s %d\n", sh, d.PhaseSeals)
+		fmt.Fprintf(w, "lcds_phase_absorbed_total%s %d\n", sh, d.PhaseAbsorbed)
+		fmt.Fprintf(w, "lcds_phase_hot_keys%s %d\n", sh, d.PhaseHotKeys)
+		fmt.Fprintf(w, "lcds_phase_split%s %d\n", sh, split)
 		fmt.Fprintf(w, "lcds_rebuilds_total%s %d\n", sh, d.Rebuilds)
 		fmt.Fprintf(w, "lcds_rebuild_keys_total%s %d\n", sh, d.RebuildKeys)
 		fmt.Fprintf(w, "lcds_rebuild_failures_total%s %d\n", sh, d.RebuildFails)

@@ -30,6 +30,12 @@ import (
 // never stall behind it; writers racing a rebuild either land in a
 // mutex-serialized delta log that is replayed before the epoch swap, or
 // retry against the freshly published epoch.
+//
+// With WithWriteAbsorption the dictionary additionally runs the two-phase
+// write protocol: keys the classifier detects as hot are absorbed wait-free
+// by a per-epoch overlay (split phase) instead of fighting over buffer
+// slots, and reconcile into the next snapshot at the phase boundary. See
+// Stats for the absorbed-write and phase figures.
 type DynamicDict struct {
 	inner   *dynamic.Dict      // unsharded (nil when sharded)
 	sharded *shard.DynamicDict // P-way composite (nil when unsharded)
@@ -72,11 +78,18 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 	d := &DynamicDict{src: cfg.o.querySource(), tel: tel}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
 	if cfg.o.shards > 1 {
-		var metricsFor func(i int) dynamic.Metrics
-		if tel != nil {
-			metricsFor = func(i int) dynamic.Metrics { return tel.DynamicShard(i) }
+		// Each shard gets its own metrics slot and — with WithWriteAbsorption
+		// — its own hot-key classifier, because shards seal and reconcile
+		// phases independently.
+		configure := func(i int, sp *dynamic.Params) {
+			if tel != nil {
+				sp.Metrics = tel.DynamicShard(i)
+			}
+			if cfg.o.absorb {
+				sp.Hot = telemetry.NewHotKeyClassifier(telemetry.HotKeyConfig{})
+			}
 		}
-		sharded, err := shard.NewDynamicWithMetrics(initial, cfg.o.shards, params, cfg.o.seed, metricsFor)
+		sharded, err := shard.NewDynamicWithHooks(initial, cfg.o.shards, params, cfg.o.seed, configure)
 		if err != nil {
 			return nil, err
 		}
@@ -85,6 +98,9 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 	}
 	if tel != nil {
 		params.Metrics = tel.DynamicShard(0)
+	}
+	if cfg.o.absorb {
+		params.Hot = telemetry.NewHotKeyClassifier(telemetry.HotKeyConfig{})
 	}
 	inner, err := dynamic.New(initial, params, cfg.o.seed)
 	if err != nil {
@@ -228,3 +244,45 @@ func (d *DynamicDict) Quiesce() {
 	}
 	d.inner.Quiesce()
 }
+
+// DynamicStats is a point-in-time read of the dictionary's update-path
+// behaviour, summed over shards. All sources are atomic or striped
+// counters, so Stats is safe to call mid-storm; counts may trail in-flight
+// operations by a few (Quiesce for settled figures).
+type DynamicStats struct {
+	Len             int    // current number of keys
+	Epochs          int    // rebuilds published (≥ 1 per shard)
+	Buffered        int    // live update-buffer entries across shards
+	Updates         int    // Insert/Delete calls that changed membership
+	WriteProbes     uint64 // probes + slot writes issued by the claim path
+	WriteCASRetries uint64 // claim CASes lost to racing writers
+	AbsorbedWrites  uint64 // writes soaked by split-phase overlays
+	PhaseSeals      int    // phase boundaries sealed (absorption enabled)
+	HotKeys         int    // absorbed-hot keys across current epochs
+	SplitPhase      bool   // whether any shard currently runs a split phase
+}
+
+// Stats reads the dictionary's dynamic statistics (summed over shards).
+func (d *DynamicDict) Stats() DynamicStats {
+	var st dynamicStats
+	if d.sharded != nil {
+		st = d.sharded.Stats()
+	} else {
+		st = d.inner.Stats()
+	}
+	return DynamicStats{
+		Len:             st.Len,
+		Epochs:          st.Epoch,
+		Buffered:        st.Buffered,
+		Updates:         st.Updates,
+		WriteProbes:     st.WriteProbes,
+		WriteCASRetries: st.WriteCASRetries,
+		AbsorbedWrites:  st.AbsorbedWrites,
+		PhaseSeals:      st.PhaseSeals,
+		HotKeys:         st.HotKeys,
+		SplitPhase:      st.SplitPhase,
+	}
+}
+
+// dynamicStats aliases the internal stats struct both branches return.
+type dynamicStats = dynamic.Stats

@@ -1,0 +1,228 @@
+// Write absorption: the split-phase half of the two-phase write protocol.
+//
+// Doppel (Narula's phase-reconciled ddtxn) splits execution into phases:
+// during a *split* phase, operations on contended records accumulate in
+// per-core structures instead of fighting over shared words, and the
+// accumulated deltas merge into the authoritative store at the phase
+// boundary. This file applies that trick to the update buffer's hot keys —
+// the paper's §1.3 replication idea turned from reads to writes.
+//
+// An epoch whose classifier has promoted keys runs a split phase: it carries
+// an *absorber* — an immutable hot-key index built and published with the
+// epoch (the same atomic.Pointer discipline as the snapshot itself). A write
+// to a hot key bypasses the claim-slot protocol entirely: it Swaps the key's
+// dedicated cache-line-padded state word (the linearization point — wait-free,
+// no CAS retry loop, no occupancy traffic, no probe chain) and journals the
+// operation in a per-core delta log acquired through the same pooled
+// stripe-handle pattern as telemetry's StripedVector. Contains consults the
+// index before the buffer walk, so a reader pinning the epoch observes
+// absorbed writes immediately — linearizability holds mid-phase.
+//
+// Phase seal reuses the rebuild fence (writers counter + sealed flag): after
+// seal() drains, no writer is inside the absorber either, so the snapshot
+// scan reads each hot entry's final state — the last write wins per key, in
+// phase-seal order — and folds it into the next epoch's key set. The next
+// epoch re-seeds a fresh absorber from the classifier's reclassification;
+// per-key churn soaked during the phase costs the rebuild nothing beyond the
+// membership bit it already reconciles.
+//
+// Divergence from Doppel: split-phase reads of contended records there stall
+// until the phase joins; our Contains must stay wait-free, so each hot key
+// keeps one shared committed-state word. Writers of one hot key therefore
+// share that key's padded line (a single wait-free Swap each) instead of
+// sharing the whole buffer's slot words, occupancy counter and CAS retry
+// convoy — the absorbed path performs zero CAS retries by construction.
+package dynamic
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cellprobe"
+)
+
+// HotClassifier decides which keys are hot enough to absorb. The dictionary
+// feeds it every claim walk (concurrently, from the lock-free write path —
+// implementations must not take locks there) and consults Pressure on the
+// write path; Reclassify runs under the dictionary mutex at each phase
+// boundary. *telemetry.HotKeyClassifier implements it; the indirection keeps
+// this package below internal/telemetry in the import graph. A non-nil
+// Params.Hot enables the two-phase protocol.
+type HotClassifier interface {
+	// ObserveClaim records one completed claim walk on a cool key: the
+	// probes it issued and the CAS races it lost. Called lock-free.
+	ObserveClaim(key uint64, probes, casRetries uint64)
+	// Pressure reports (and consumes) a pending promotion signal: some cool
+	// key has accumulated enough contended claims to deserve absorption.
+	// The dictionary answers by turning the phase (sealing into a rebuild).
+	// Called lock-free on the write path; must be cheap when idle.
+	Pressure() bool
+	// Reclassify returns the next phase's hot set given the current one and
+	// each current key's absorbed-write count this phase. Serialized by the
+	// dictionary mutex; order of the result is the (deterministic) seed
+	// order of the next absorber.
+	Reclassify(current []uint64, writes func(key uint64) uint64) []uint64
+}
+
+// Absorbed states held in a hotEntry's state word.
+const (
+	absorbAbsent  = uint64(0)
+	absorbPresent = uint64(1)
+)
+
+// absorbLogCap bounds one per-core journal. Ops past the cap still count
+// (ops/overflow) but their journal entries are dropped — the journal is
+// accounting and test instrumentation; correctness rides on the state words.
+const absorbLogCap = 4096
+
+// hotEntry is one absorbed key's committed state: a full cache line so
+// writers of different hot keys never false-share. state is the
+// linearization point (Swap on write, Load on read); writes feeds the
+// classifier's demotion side at the phase boundary.
+type hotEntry struct {
+	key    uint64
+	state  atomic.Uint64 // absorbAbsent | absorbPresent
+	writes atomic.Uint64 // absorbed ops on this key this phase
+	_      [5]uint64     // pad to 64 bytes
+}
+
+// absorbLog is one per-core delta journal: an append cursor plus a bounded
+// entry array, padded on both sides so adjacent stripes never share a line.
+// Entries pack del<<63 | key (keys are < 2^61).
+type absorbLog struct {
+	_    [8]uint64
+	next atomic.Uint64 // ops appended (entries beyond absorbLogCap drop)
+	ents []atomic.Uint64
+	_    [8]uint64
+}
+
+const absorbDelBit = uint64(1) << 63
+
+// absorber is the split-phase state of one epoch: the immutable hot-key
+// index plus the per-core delta logs. It is built before the epoch is
+// published and the index never changes afterwards, so lock-free readers
+// and writers use the map without coordination; only the entries' atomic
+// words and the logs mutate during the phase.
+type absorber struct {
+	keys    []uint64             // hot keys in deterministic (seed) order
+	entries []hotEntry           // one padded line per hot key
+	index   map[uint64]*hotEntry // immutable after construction
+
+	logs []absorbLog
+	mask uint64
+	next atomic.Uint64
+	pool sync.Pool // *uint64: cached per-goroutine stripe index
+}
+
+// newAbsorber seeds an absorber for the given hot set, with each key's
+// state initialized to its membership in the snapshot being published.
+// stripes is rounded up to a power of two (<=0 selects the cellprobe
+// default, min(GOMAXPROCS, 8)).
+func newAbsorber(hot []uint64, member func(uint64) bool, stripes int) *absorber {
+	if stripes <= 0 {
+		stripes = cellprobe.DefaultVectorStripes()
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	a := &absorber{
+		keys:    append([]uint64(nil), hot...),
+		entries: make([]hotEntry, len(hot)),
+		index:   make(map[uint64]*hotEntry, len(hot)),
+		logs:    make([]absorbLog, n),
+		mask:    uint64(n - 1),
+	}
+	for i, k := range a.keys {
+		e := &a.entries[i]
+		e.key = k
+		if member(k) {
+			e.state.Store(absorbPresent)
+		}
+		a.index[k] = e
+	}
+	for s := range a.logs {
+		a.logs[s].ents = make([]atomic.Uint64, absorbLogCap)
+	}
+	a.pool.New = func() any {
+		i := new(uint64)
+		*i = a.next.Add(1) - 1
+		return i
+	}
+	return a
+}
+
+// entry returns x's hot entry, or nil when x is cool this phase. The index
+// is immutable, so this is safe from any goroutine without coordination.
+func (a *absorber) entry(x uint64) *hotEntry { return a.index[x] }
+
+// absorb applies one write to a hot key: Swap the committed state (the
+// linearization point — wait-free, zero CAS retries) and journal the op on
+// the calling goroutine's stripe. It reports whether membership changed.
+func (a *absorber) absorb(ent *hotEntry, del bool) (changed bool) {
+	st := absorbPresent
+	if del {
+		st = absorbAbsent
+	}
+	old := ent.state.Swap(st)
+	ent.writes.Add(1)
+
+	h := a.pool.Get().(*uint64)
+	s := *h & a.mask
+	a.pool.Put(h)
+	l := &a.logs[s]
+	packed := ent.key
+	if del {
+		packed |= absorbDelBit
+	}
+	if i := l.next.Add(1) - 1; i < absorbLogCap {
+		l.ents[i].Store(packed)
+	}
+	return old != st
+}
+
+// ops returns the total absorbed operations journaled across all stripes.
+// Exact only after the phase is sealed (the rebuild fence has drained).
+func (a *absorber) ops() uint64 {
+	var total uint64
+	for s := range a.logs {
+		total += a.logs[s].next.Load()
+	}
+	return total
+}
+
+// writesOf returns the absorbed-write count of one hot key (0 for cool
+// keys) — the classifier's demotion signal at the phase boundary.
+func (a *absorber) writesOf(k uint64) uint64 {
+	if e := a.index[k]; e != nil {
+		return e.writes.Load()
+	}
+	return 0
+}
+
+// finalStates iterates the hot keys in seed order with each key's committed
+// membership. Callers must hold the phase sealed (post-fence), so the states
+// are the per-key last writes in phase-seal order.
+func (a *absorber) finalStates(f func(key uint64, present bool)) {
+	for i := range a.entries {
+		e := &a.entries[i]
+		f(e.key, e.state.Load() == absorbPresent)
+	}
+}
+
+// journal returns one stripe's logged (key, del) entries in append order,
+// for tests that verify reconciliation ordering. Valid post-seal; entries
+// dropped past the journal cap are not returned (see ops for exact counts).
+func (a *absorber) journal(stripe int) []update {
+	l := &a.logs[stripe]
+	n := l.next.Load()
+	if n > absorbLogCap {
+		n = absorbLogCap
+	}
+	out := make([]update, 0, n)
+	for i := uint64(0); i < n; i++ {
+		w := l.ents[i].Load()
+		out = append(out, update{key: w &^ absorbDelBit, del: w&absorbDelBit != 0})
+	}
+	return out
+}

@@ -60,6 +60,25 @@
 // lines — update throughput scales with writer goroutines instead of
 // flat-lining on a mutex.
 //
+// # Two-phase write absorption
+//
+// A skewed write storm defeats the claim path anyway: every writer of the
+// same hot key converges on the same slot words and the CAS loop degenerates
+// into a retry convoy while churned slots burn buffer capacity. With a
+// non-nil Params.Hot the dictionary runs a two-phase protocol (Doppel-style
+// phase reconciliation; see absorb.go): epochs whose classifier promoted
+// keys run a *split* phase, in which writes to those keys bypass the buffer
+// entirely — a wait-free Swap on the key's padded committed-state word plus
+// a per-core delta-log append — and epochs without hot keys run today's
+// *joined* phase unchanged. Contains consults the epoch's hot-key index
+// before the buffer walk, so absorbed writes are visible to readers
+// mid-phase. Phase boundaries coincide with rebuilds: the seal fence also
+// quiesces the absorber, the snapshot scan folds each hot key's final state
+// (last write wins, in phase-seal order) into the next key set, and the
+// classifier reclassifies before the next epoch publishes. With Params.Hot
+// nil (the default) none of this machinery exists and the update sequence
+// is bit-identical to the pure claim-slot implementation.
+//
 // Read contention stays within a constant of the static dictionary's: the
 // buffer's parameter row is replicated and its slot probes are spread by
 // hashing. Update contention is the interesting quantity the paper asks
@@ -150,6 +169,12 @@ type Params struct {
 	// the buffered-delta depth, and the per-claim probe/CAS-retry counts of
 	// the lock-free write path.
 	Metrics Metrics
+	// Hot, when non-nil, enables two-phase write absorption: the classifier
+	// observes every claim walk, signals promotion pressure, and is asked to
+	// reclassify the hot set at each phase boundary (rebuild). Nil — the
+	// default — keeps the pure claim-slot protocol, bit-identical to
+	// absorption-free builds.
+	Hot HotClassifier
 }
 
 // Metrics receives a dynamic dictionary's rebuild-side telemetry.
@@ -165,6 +190,15 @@ type Metrics interface {
 	// WriteClaim records one completed claim walk: the probes it issued and
 	// the CAS races it lost along the way.
 	WriteClaim(probes, casRetries uint64)
+	// WriteAbsorbed records one write soaked by the split-phase overlay
+	// instead of the claim path. Called lock-free, like WriteClaim.
+	WriteAbsorbed()
+	// PhaseSealed records one phase boundary: the sealed phase's hot-set
+	// size and the operations its absorber soaked.
+	PhaseSealed(hotKeys int, absorbedOps uint64)
+	// SetPhase publishes the freshly published epoch's hot-set size
+	// (0 = joined phase).
+	SetPhase(hotKeys int)
 }
 
 // stepSink offsets every observed probe's step — the buffer table's sink,
@@ -193,6 +227,10 @@ type Stats struct {
 	WriteCASRetries uint64 // claim CASes lost to a racing writer (0 single-writer)
 	RebuildCells    int    // cells written by the last rebuild
 	StaticHashTries int    // hash draws of the last rebuild
+	AbsorbedWrites  uint64 // writes soaked by split-phase overlays (all phases)
+	PhaseSeals      int    // phase boundaries sealed with absorption enabled
+	HotKeys         int    // absorbed-hot keys in the current epoch
+	SplitPhase      bool   // whether the current epoch runs a split phase
 }
 
 // buffer is the update buffer of one epoch: an open-addressing table whose
@@ -265,6 +303,12 @@ type epoch struct {
 	buf      *buffer
 	baseKeys []uint64        // the snapshot's keys, in build order
 	baseSet  map[uint64]bool // the same keys, for O(1) membership checks
+	// hot is the epoch's split-phase absorber, or nil in a joined phase.
+	// Like the rest of the epoch it is frozen (index and key set) before
+	// publication; only its entries' committed-state words and per-core
+	// logs mutate during the phase, under the same writer fence as the
+	// buffer slots.
+	hot *absorber
 }
 
 // update is one buffered operation, logged for replay when a background
@@ -303,9 +347,10 @@ type Dict struct {
 	readProbes  *cellprobe.StripedCounter
 	writeProbes *cellprobe.StripedCounter
 	casRetries  *cellprobe.StripedCounter
-	updates     atomic.Int64 // state-changing Insert/Delete calls
-	scratch     sync.Pool    // *core.QueryScratch reused across Contains calls
-	batch       sync.Pool    // *batchState reused across ContainsBatch calls
+	absorbed    *cellprobe.StripedCounter // writes soaked by split-phase overlays
+	updates     atomic.Int64              // state-changing Insert/Delete calls
+	scratch     sync.Pool                 // *core.QueryScratch reused across Contains calls
+	batch       sync.Pool                 // *batchState reused across ContainsBatch calls
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -331,6 +376,7 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 		readProbes:  cellprobe.NewStripedCounter(),
 		writeProbes: cellprobe.NewStripedCounter(),
 		casRetries:  cellprobe.NewStripedCounter(),
+		absorbed:    cellprobe.NewStripedCounter(),
 	}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
 	d.batch.New = func() any { return new(batchState) }
@@ -384,7 +430,11 @@ func (d *Dict) newBuffer(n, ep int) *buffer {
 
 // snapshotKeys derives the current key set from an epoch whose buffer has
 // been sealed and drained: the snapshot's keys minus tombstones, plus the
-// buffer's live inserts. The order (base order, then slot order) is
+// buffer's live inserts, reconciled with the absorber's per-key final
+// states (last write wins, in phase-seal order). Hot keys never hold
+// buffer entries within their own epoch — the absorbed path bypasses the
+// claim protocol — so the two sources never conflict. The order (base
+// order, then slot order, then absorbed extras in seed order) is
 // deterministic given a deterministic update sequence. Callers hold d.mu.
 func snapshotKeys(e *epoch) []uint64 {
 	var inserted []uint64
@@ -398,13 +448,25 @@ func snapshotKeys(e *epoch) []uint64 {
 			deleted[key] = true
 		}
 	}
-	keys := make([]uint64, 0, len(e.baseKeys)+len(inserted))
+	var absorbedIn []uint64
+	if e.hot != nil {
+		e.hot.finalStates(func(key uint64, present bool) {
+			switch {
+			case present && !e.baseSet[key]:
+				absorbedIn = append(absorbedIn, key)
+			case !present && e.baseSet[key]:
+				deleted[key] = true
+			}
+		})
+	}
+	keys := make([]uint64, 0, len(e.baseKeys)+len(inserted)+len(absorbedIn))
 	for _, k := range e.baseKeys {
 		if !deleted[k] {
 			keys = append(keys, k)
 		}
 	}
-	return append(keys, inserted...)
+	keys = append(keys, inserted...)
+	return append(keys, absorbedIn...)
 }
 
 // startRebuild seals the current buffer, snapshots the key set and kicks off
@@ -417,8 +479,21 @@ func (d *Dict) startRebuild() {
 	// Fence: after seal returns, no lock-free writer is inside the buffer
 	// and none will enter again, so the slot scan below observes every
 	// committed claim. Later writers divert to the mutex path and land in
-	// the delta log.
+	// the delta log. The same fence covers the absorber: its state words
+	// and logs are only touched between the writer count's increment and
+	// decrement, so the scan reads each hot key's final (phase-seal-order
+	// last) write.
 	e.buf.seal()
+	if d.p.Hot != nil {
+		hotKeys, absorbedOps := 0, uint64(0)
+		if e.hot != nil {
+			hotKeys, absorbedOps = len(e.hot.keys), e.hot.ops()
+		}
+		d.stats.PhaseSeals++
+		if d.p.Metrics != nil {
+			d.p.Metrics.PhaseSealed(hotKeys, absorbedOps)
+		}
+	}
 	keys := snapshotKeys(e)
 	d.delta = nil
 	started := time.Now()
@@ -453,12 +528,31 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep int, keys []uint64, 
 		set[k] = true
 	}
 	ne := &epoch{base: base, buf: d.newBuffer(n, ep), baseKeys: keys, baseSet: set}
+	if d.p.Hot != nil {
+		// Phase boundary: reclassify the hot set from the sealed phase's
+		// per-key absorbed-write counts, then seed the next absorber with
+		// each hot key's membership in the snapshot just built. Promotion
+		// and demotion happen only here — the published index is immutable —
+		// so an in-flight writer can never claim a buffer slot for a key
+		// the snapshot scan would also read from the overlay.
+		var current []uint64
+		writes := func(uint64) uint64 { return 0 }
+		if old := d.cur.Load(); old != nil && old.hot != nil {
+			current = old.hot.keys
+			writes = old.hot.writesOf
+		}
+		if hot := d.p.Hot.Reclassify(current, writes); len(hot) > 0 {
+			ne.hot = newAbsorber(hot, func(k uint64) bool { return set[k] }, 0)
+		}
+	}
 	// Replay the delta in log order. The ops were serialized by d.mu against
 	// the sealed old buffer, so replaying them one by one reconstructs the
 	// same membership on the new epoch; replay may exceed the hard cap (the
 	// trailing threshold check below rebuilds again rather than lose an op).
+	// Ops on keys hot in the new epoch route to its overlay instead of the
+	// buffer, keeping the no-buffer-entries invariant for hot keys.
 	for _, u := range d.delta {
-		if _, cerr := d.claim(ne, u.key, u.del, ne.buf.width); cerr != nil {
+		if cerr := d.applyReplay(ne, u); cerr != nil {
 			d.rebuildErr = fmt.Errorf("dynamic: rebuild %d replay: %w", ep, cerr)
 			return
 		}
@@ -473,6 +567,13 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep int, keys []uint64, 
 	if d.p.Metrics != nil {
 		d.p.Metrics.RebuildDone(n, time.Since(started).Nanoseconds())
 		d.p.Metrics.SetDeltaDepth(int(ne.buf.buffered.Load()))
+		if d.p.Hot != nil {
+			hotKeys := 0
+			if ne.hot != nil {
+				hotKeys = len(ne.hot.keys)
+			}
+			d.p.Metrics.SetPhase(hotKeys)
+		}
 	}
 	d.cur.Store(ne)
 	d.stats.Epoch = ep
@@ -485,6 +586,22 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep int, keys []uint64, 
 	if int(ne.buf.occupied.Load()) >= ne.buf.threshold {
 		d.startRebuild()
 	}
+}
+
+// applyReplay re-applies one delta-logged operation to the epoch being
+// built: keys hot in the new epoch land in its overlay (the op was already
+// committed and counted when it first ran against the sealed old epoch),
+// everything else claims a buffer slot. Callers hold d.mu; ne is not yet
+// published, so there is no concurrency to fence.
+func (d *Dict) applyReplay(ne *epoch, u update) error {
+	if h := ne.hot; h != nil {
+		if ent := h.entry(u.key); ent != nil {
+			h.absorb(ent, u.del)
+			return nil
+		}
+	}
+	_, err := d.claim(ne, u.key, u.del, ne.buf.width)
+	return err
 }
 
 // claim walks x's probe chain in e's buffer and publishes one update by CAS
@@ -598,6 +715,9 @@ walk:
 	if d.p.Metrics != nil {
 		d.p.Metrics.WriteClaim(probes, retries)
 	}
+	if d.p.Hot != nil {
+		d.p.Hot.ObserveClaim(x, probes, retries)
+	}
 	return outcome, err
 }
 
@@ -622,8 +742,16 @@ func (d *Dict) ContainsScratch(x uint64, r rng.Source, sc *core.QueryScratch) (b
 	return d.containsEpoch(d.cur.Load(), x, r, sc)
 }
 
-// containsEpoch answers membership against one pinned epoch.
+// containsEpoch answers membership against one pinned epoch. Absorbed-hot
+// keys resolve on the overlay's committed-state word before any buffer
+// probe, so a reader observes split-phase writes the instant they land.
 func (d *Dict) containsEpoch(e *epoch, x uint64, r rng.Source, sc *core.QueryScratch) (bool, error) {
+	if h := e.hot; h != nil {
+		if ent := h.entry(x); ent != nil {
+			d.readProbes.Add(1)
+			return ent.state.Load() == absorbPresent, nil
+		}
+	}
 	b := e.buf
 	h := b.params(r)
 	_, tag, found, probes, err := b.find(x, h)
@@ -666,6 +794,13 @@ func (c *batchCursor) NextQuery() (int, uint64, bool) {
 		i := c.pos
 		c.pos++
 		x := c.keys[i]
+		if h := c.e.hot; h != nil {
+			if ent := h.entry(x); ent != nil {
+				c.d.readProbes.Add(1)
+				c.out[i] = ent.state.Load() == absorbPresent
+				continue
+			}
+		}
 		b := c.e.buf
 		h := b.params(c.r)
 		_, tag, found, probes, err := b.find(x, h)
@@ -769,8 +904,29 @@ func (d *Dict) mutate(x uint64, del bool) (bool, error) {
 	b.writers.Add(1)
 	// The fence: writers increments before the sealed check, the sealer
 	// stores sealed before waiting on writers (both seq-cst), so either we
-	// see sealed here and retreat, or the sealer waits for our claim.
-	if b.sealed.Load() || int(b.occupied.Load()) >= b.hardCap {
+	// see sealed here and retreat, or the sealer waits for our claim — a
+	// buffer slot or an absorbed overlay write alike.
+	if b.sealed.Load() {
+		b.writers.Add(-1)
+		return d.mutateSlow(x, del)
+	}
+	if h := e.hot; h != nil {
+		if ent := h.entry(x); ent != nil {
+			// Split-phase absorbed write: wait-free, no buffer traffic, no
+			// occupancy pre-reservation — hot keys cannot fill the buffer.
+			changed := h.absorb(ent, del)
+			b.writers.Add(-1)
+			d.absorbed.Add(1)
+			if d.p.Metrics != nil {
+				d.p.Metrics.WriteAbsorbed()
+			}
+			if changed {
+				d.commitChange(del)
+			}
+			return changed, nil
+		}
+	}
+	if int(b.occupied.Load()) >= b.hardCap {
 		b.writers.Add(-1)
 		return d.mutateSlow(x, del)
 	}
@@ -778,6 +934,15 @@ func (d *Dict) mutate(x uint64, del bool) (bool, error) {
 	b.writers.Add(-1)
 	if err != nil {
 		return false, err
+	}
+	if d.p.Hot != nil && d.p.Hot.Pressure() {
+		// The classifier wants a cool key promoted; promotion happens only
+		// at a phase boundary, so turn the phase by starting a rebuild.
+		d.mu.Lock()
+		if !d.rebuilding && d.rebuildErr == nil && d.cur.Load() == e {
+			d.startRebuild()
+		}
+		d.mu.Unlock()
 	}
 	if outcome == claimFull {
 		return d.mutateSlow(x, del)
@@ -831,6 +996,31 @@ func (d *Dict) mutateSlow(x uint64, del bool) (bool, error) {
 		}
 		e := d.cur.Load()
 		b := e.buf
+		if h := e.hot; h != nil {
+			if ent := h.entry(x); ent != nil {
+				// Absorbed write under the mutex: the overlay of the still-
+				// published epoch must observe it (readers pin that epoch),
+				// and if its snapshot scan has already run the op is logged
+				// for replay into the next epoch's overlay or buffer.
+				changed := h.absorb(ent, del)
+				d.absorbed.Add(1)
+				if d.p.Metrics != nil {
+					d.p.Metrics.WriteAbsorbed()
+				}
+				endPause()
+				if !changed {
+					return false, nil
+				}
+				d.commitChange(del)
+				if b.sealed.Load() && d.rebuilding {
+					d.delta = append(d.delta, update{key: x, del: del})
+					if d.p.Metrics != nil {
+						d.p.Metrics.SetDeltaDepth(len(d.delta))
+					}
+				}
+				return true, nil
+			}
+		}
 		if int(b.occupied.Load()) < b.hardCap {
 			// Either a live (unsealed) buffer — our claim races only other
 			// claims, which CAS handles — or a sealed buffer mid-rebuild,
@@ -903,12 +1093,17 @@ func (d *Dict) Stats() Stats {
 	d.mu.Unlock()
 	s.Len = int(d.n.Load())
 	s.Updates = int(d.updates.Load())
-	b := d.cur.Load().buf
-	s.Buffered = int(b.buffered.Load())
-	s.BufferSlots = b.width
+	e := d.cur.Load()
+	s.Buffered = int(e.buf.buffered.Load())
+	s.BufferSlots = e.buf.width
 	s.ReadProbes = d.readProbes.Sum()
 	s.WriteProbes = d.writeProbes.Sum()
 	s.WriteCASRetries = d.casRetries.Sum()
+	s.AbsorbedWrites = d.absorbed.Sum()
+	if e.hot != nil {
+		s.HotKeys = len(e.hot.keys)
+		s.SplitPhase = true
+	}
 	return s
 }
 

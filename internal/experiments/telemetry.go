@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/contention"
 	"repro/internal/dist"
+	"repro/internal/memsim"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -21,6 +22,14 @@ import (
 // them; the core dictionary must sit at 1.00/1.00. Replicated baselines
 // still draw their replica columns at random, so their live/exact ratios
 // carry sampling noise the deterministic schemes do not.
+//
+// The last three columns close the loop with the execution model: a batch
+// of simulated processors replays captured probe sequences through
+// internal/memsim with the SAME telemetry estimator attached as the
+// simulator's probe sink, so one Φ̂ pipeline measures both the live and the
+// simulated stream, and the simulated queueing delay (avg cycles waiting in
+// module queues) and slowdown appear next to the live contention figures
+// they are supposed to explain.
 func A8(cfg Config) (*Table, error) {
 	n := cfg.FixedN
 	keys := Keys(n, cfg.Seed)
@@ -32,17 +41,22 @@ func A8(cfg Config) (*Table, error) {
 		passes = 1
 	}
 	queries := passes * n
+	// Simulated batch size: enough concurrent processors that module queues
+	// actually form on contended cells, small enough to stay cheap.
+	const simProcs = 32
 	names := cfg.filterNames(RosterNames())
 	t := &Table{
 		ID: "A8",
 		Title: fmt.Sprintf("Live telemetry vs exact analysis — empirical Φ̂ under %d round-robin positive queries (n = %d, sampling 1)",
 			queries, n),
 		Columns: []string{"structure", "cells", "probes/q(live)", "probes/q(exact)",
-			"maxΦ̂·n(live)", "maxΦ·n(exact)", "ratio", "stepMassL∞"},
+			"maxΦ̂·n(live)", "maxΦ·n(exact)", "ratio", "stepMassL∞",
+			"maxΦ̂·n(sim)", "simQdelay", "simSlowdown"},
 		Notes: []string{
 			"live numbers come from the runtime telemetry sink (internal/telemetry) attached to each structure's cell-probe table — the same estimator lcds-monitor exposes over /metrics",
 			"ratio = maxΦ̂·n(live) / maxΦ·n(exact); deterministic schemes land on 1.000 exactly, replicated ones wander by the extreme-value noise of their random replica draws",
 			"stepMassL∞ is the largest absolute gap between the measured and exact per-step probe mass vectors — 0 for schemes whose probe count is input-independent",
+			fmt.Sprintf("sim columns replay %d captured probe sequences through internal/memsim (one module per cell) with the same telemetry estimator attached as the simulator's probe sink: maxΦ̂·n(sim) is the estimator's reading of the simulated stream, simQdelay the mean cycles each probe waited in a module queue (0 = served on issue), simSlowdown the makespan over the conflict-free ideal", simProcs),
 		},
 	}
 	for _, name := range names {
@@ -66,10 +80,26 @@ func A8(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("A8 %s: %w", name, err)
 		}
 		drift := tel.Snapshot().CompareExact(ex)
+
+		// Simulated execution: capture simProcs probe sequences and replay
+		// them through the memory simulator with a fresh instance of the
+		// same estimator as the probe sink.
+		seqs, err := memsim.Sequences(s, q, simProcs, rng.New(cfg.Seed^0xa8^0x51))
+		if err != nil {
+			return nil, fmt.Errorf("A8 %s: %w", name, err)
+		}
+		simTel := telemetry.New(telemetry.Config{Sample: 1}, s.Table().Size(), s.N())
+		sim := memsim.Run(seqs, memsim.Config{Sink: simTel})
+		for i := 0; i < simProcs; i++ {
+			simTel.ObserveQuery(true, false, 0)
+		}
+		simDrift := simTel.Snapshot().CompareExact(ex)
+
 		t.Rows = append(t.Rows, []string{
 			name, d(s.Table().Size()), f3s(drift.ProbesLive), f3s(drift.ProbesExact),
 			f3s(drift.MaxPhiLive * float64(n)), f3s(drift.MaxPhiExact * float64(n)),
 			f3s(drift.MaxPhiRatio), fmt.Sprintf("%.1e", drift.StepMassMaxDiff),
+			f3s(simDrift.MaxPhiLive * float64(n)), f3s(sim.AvgLatency - 1), f3s(sim.Slowdown()),
 		})
 	}
 	return t, nil

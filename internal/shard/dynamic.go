@@ -42,6 +42,19 @@ func NewDynamic(initial []uint64, shards int, p dynamic.Params, seed uint64) (*D
 // metricsFor(i), so each shard's rebuild telemetry lands in its own slot
 // (the facade passes telemetry.Telemetry.DynamicShard).
 func NewDynamicWithMetrics(initial []uint64, shards int, p dynamic.Params, seed uint64, metricsFor func(i int) dynamic.Metrics) (*DynamicDict, error) {
+	var configure func(i int, sp *dynamic.Params)
+	if metricsFor != nil {
+		configure = func(i int, sp *dynamic.Params) { sp.Metrics = metricsFor(i) }
+	}
+	return NewDynamicWithHooks(initial, shards, p, seed, configure)
+}
+
+// NewDynamicWithHooks is NewDynamic with a per-shard parameter hook: when
+// configure is non-nil it runs on a copy of p for each shard before the
+// shard is built, so per-shard state — metrics slots, hot-key classifiers
+// (each shard classifies and turns phases independently, matching its
+// independent rebuilds) — never crosses shard boundaries.
+func NewDynamicWithHooks(initial []uint64, shards int, p dynamic.Params, seed uint64, configure func(i int, sp *dynamic.Params)) (*DynamicDict, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: shard count %d must be ≥ 1", shards)
 	}
@@ -56,8 +69,8 @@ func NewDynamicWithMetrics(initial []uint64, shards int, p dynamic.Params, seed 
 	d := &DynamicDict{route: route, shards: make([]*dynamic.Dict, shards)}
 	for i, part := range parts {
 		sp := p
-		if metricsFor != nil {
-			sp.Metrics = metricsFor(i)
+		if configure != nil {
+			configure(i, &sp)
 		}
 		inner, err := dynamic.New(part, sp, subseed(seed, i))
 		if err != nil {
@@ -280,6 +293,33 @@ func (d *DynamicDict) Rebuilds() int {
 	total := 0
 	for _, s := range d.shards {
 		total += s.Stats().Epoch
+	}
+	return total
+}
+
+// Stats sums the dynamic statistics over all shards. Per-shard epoch
+// detail (SnapshotN, BufferSlots, rebuild cells) is aggregated additively;
+// SplitPhase reports whether any shard currently runs a split phase.
+func (d *DynamicDict) Stats() dynamic.Stats {
+	var total dynamic.Stats
+	for _, s := range d.shards {
+		st := s.Stats()
+		total.Len += st.Len
+		total.Epoch += st.Epoch
+		total.SnapshotN += st.SnapshotN
+		total.Buffered += st.Buffered
+		total.BufferSlots += st.BufferSlots
+		total.RebuildKeys += st.RebuildKeys
+		total.Updates += st.Updates
+		total.ReadProbes += st.ReadProbes
+		total.WriteProbes += st.WriteProbes
+		total.WriteCASRetries += st.WriteCASRetries
+		total.RebuildCells += st.RebuildCells
+		total.StaticHashTries += st.StaticHashTries
+		total.AbsorbedWrites += st.AbsorbedWrites
+		total.PhaseSeals += st.PhaseSeals
+		total.HotKeys += st.HotKeys
+		total.SplitPhase = total.SplitPhase || st.SplitPhase
 	}
 	return total
 }
