@@ -37,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,6 +55,8 @@ import (
 type dict interface {
 	Contains(x uint64) bool
 	Telemetry() *lcds.Telemetry
+	EventLog() *lcds.EventLog
+	Timeline(since uint64, max int) ([]lcds.Event, uint64)
 }
 
 // staticDict adapts *lcds.Dict (Contains returns bool) and *lcds.DynamicDict
@@ -62,6 +65,10 @@ type dynAdapter struct{ d *lcds.DynamicDict }
 
 func (a dynAdapter) Contains(x uint64) bool     { ok, _ := a.d.Contains(x); return ok }
 func (a dynAdapter) Telemetry() *lcds.Telemetry { return a.d.Telemetry() }
+func (a dynAdapter) EventLog() *lcds.EventLog   { return a.d.EventLog() }
+func (a dynAdapter) Timeline(since uint64, max int) ([]lcds.Event, uint64) {
+	return a.d.Timeline(since, max)
+}
 
 // driftState is the last live-vs-exact comparison, republished atomically.
 type driftState struct {
@@ -165,6 +172,7 @@ func main() {
 	if *adaptive > 0 {
 		cfg.Adaptive = &lcds.TelemetryAdaptiveConfig{TargetProbesPerSec: *adaptive}
 	}
+	otlpConfigure(&cfg)
 	keys := genKeys(*n, *seed)
 	opts := []lcds.Option{lcds.WithSeed(*seed), lcds.WithTelemetry(cfg)}
 	if *shards > 1 {
@@ -220,6 +228,7 @@ func main() {
 	mux.HandleFunc("/", srv.handleIndex)
 	mux.HandleFunc("/metrics", srv.handleMetrics)
 	mux.HandleFunc("/debug/telemetry", srv.handleTelemetry)
+	mux.HandleFunc("/debug/timeline", srv.handleTimeline)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -250,6 +259,7 @@ func main() {
 	if *adaptive > 0 {
 		go srv.adaptLoop(ctx)
 	}
+	startOTLP(ctx, srv)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -409,12 +419,57 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprint(w, "lcds-monitor\n\n/metrics          Prometheus text exposition\n/debug/telemetry  JSON snapshot (top-K cells, traces, exact-Φ drift)\n/debug/pprof/     runtime profiles\n")
+	fmt.Fprint(w, "lcds-monitor\n\n/metrics          Prometheus text exposition\n/debug/telemetry  JSON snapshot (top-K cells, traces, exact-Φ drift)\n/debug/timeline   flight-recorder event timeline (?since=<cursor>&max=<n>)\n/debug/pprof/     runtime profiles\n")
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeMetrics(w, s.d.Telemetry().Snapshot(), s.drift.Load())
+	tel := s.d.Telemetry()
+	// Read the sampling factor at scrape time — the snapshot's copy can be a
+	// retune behind when the adaptive controller ticks between scrapes.
+	writeMetrics(w, tel.Snapshot(), s.drift.Load(), tel.Sample())
+}
+
+// timelineReport is the /debug/timeline response body.
+type timelineReport struct {
+	Events []lcds.Event `json:"events"`
+	// NextCursor is the value to pass as ?since= to read only newer events.
+	NextCursor uint64 `json:"next_cursor"`
+	// Dropped is the exact count of events refused on a full ring so far.
+	Dropped uint64 `json:"dropped"`
+}
+
+// handleTimeline serves the flight recorder with since-cursor pagination:
+// ?since=<cursor> returns only events newer than the cursor (0 = from the
+// oldest retained), ?max=<n> caps the page size (default 256, cap 4096).
+func (s *server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since, err := strconv.ParseUint(q.Get("since"), 10, 64)
+	if err != nil && q.Get("since") != "" {
+		http.Error(w, "bad since cursor", http.StatusBadRequest)
+		return
+	}
+	max := 256
+	if v := q.Get("max"); v != "" {
+		m, err := strconv.Atoi(v)
+		if err != nil || m <= 0 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+		max = m
+	}
+	if max > 4096 {
+		max = 4096
+	}
+	evs, next := s.d.Timeline(since, max)
+	if evs == nil {
+		evs = []lcds.Event{}
+	}
+	rep := timelineReport{Events: evs, NextCursor: next, Dropped: s.d.EventLog().Dropped()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
 }
 
 // telemetryReport is the /debug/telemetry response body.
@@ -520,6 +575,10 @@ func runSelfcheck(s *server, mux *http.ServeMux) error {
 			st.AbsorbedWrites, st.PhaseSeals, st.HotKeys)
 	}
 
+	if err := runTimelineCheck(s); err != nil {
+		return err
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -541,6 +600,17 @@ func runSelfcheck(s *server, mux *http.ServeMux) error {
 	}
 	if _, err := get(fmt.Sprintf("http://%s/debug/telemetry", ln.Addr())); err != nil {
 		return err
+	}
+	tlBody, err := get(fmt.Sprintf("http://%s/debug/timeline?since=0&max=16", ln.Addr()))
+	if err != nil {
+		return err
+	}
+	var tl timelineReport
+	if err := json.Unmarshal([]byte(tlBody), &tl); err != nil {
+		return fmt.Errorf("selfcheck: /debug/timeline is not valid JSON: %w", err)
+	}
+	if s.dyn != nil && len(tl.Events) == 0 {
+		return fmt.Errorf("selfcheck: /debug/timeline is empty after dynamic churn")
 	}
 	fmt.Print(body)
 	if s.static != nil {
@@ -569,6 +639,118 @@ func runSelfcheck(s *server, mux *http.ServeMux) error {
 	} else {
 		fmt.Println("# selfcheck OK (dynamic: no exact comparison)")
 	}
+	return nil
+}
+
+// runTimelineCheck drives concurrent update churn on the dynamic dictionary
+// (one writer goroutine per processor, each flipping a disjoint fresh-key
+// block, forcing epoch rebuilds — and phase transitions with -absorb), then
+// verifies the flight-recorder timeline is coherent: every RebuildStart is
+// balanced by a RebuildEnd, per-shard epochs never decrease, PhaseSplit and
+// PhaseJoined strictly alternate, and the OverflowDropped entries account
+// for the ring's exact drop counter. Static servers record no structural
+// events, so the check is a no-op there.
+func runTimelineCheck(s *server) error {
+	if s.dyn == nil {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	memberSet := make(map[uint64]bool, len(s.keys))
+	for _, k := range s.keys {
+		memberSet[k] = true
+	}
+	r := rng.New(0xf11657)
+	blocks := make([][]uint64, workers)
+	for w := range blocks {
+		for len(blocks[w]) < 64 {
+			k := r.Uint64n(lcds.MaxKey)
+			if !memberSet[k] {
+				memberSet[k] = true
+				blocks[w] = append(blocks[w], k)
+			}
+		}
+	}
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(block []uint64) {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				for _, k := range block {
+					if _, err := s.dyn.Insert(k); err != nil {
+						errs <- err
+						return
+					}
+				}
+				for _, k := range block {
+					if _, err := s.dyn.Delete(k); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(blocks[w])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("selfcheck: timeline churn: %w", err)
+	}
+	s.dyn.Quiesce()
+
+	evs, _ := s.dyn.Timeline(0, 1<<20)
+	if len(evs) == 0 {
+		return fmt.Errorf("selfcheck: empty timeline after %d churn writers", workers)
+	}
+	starts := map[int32]int{}
+	ends := map[int32]int{}
+	lastEpoch := map[int32]uint64{}
+	split := map[int32]bool{}
+	var lastSeq, droppedTotal uint64
+	rebuilds := 0
+	for _, ev := range evs {
+		if ev.Seq <= lastSeq {
+			return fmt.Errorf("selfcheck: timeline seq %d not after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case lcds.EventRebuildStart:
+			starts[ev.Shard]++
+			if ev.A < lastEpoch[ev.Shard] {
+				return fmt.Errorf("selfcheck: shard %d epoch went backwards (%d after %d)", ev.Shard, ev.A, lastEpoch[ev.Shard])
+			}
+			lastEpoch[ev.Shard] = ev.A
+		case lcds.EventRebuildEnd:
+			if _, failed := lcds.EventFailedRebuild(ev.A); failed {
+				return fmt.Errorf("selfcheck: rebuild failed: %+v", ev)
+			}
+			ends[ev.Shard]++
+			rebuilds++
+		case lcds.EventPhaseSplit:
+			if split[ev.Shard] {
+				return fmt.Errorf("selfcheck: shard %d split twice without a join", ev.Shard)
+			}
+			split[ev.Shard] = true
+		case lcds.EventPhaseJoined:
+			if !split[ev.Shard] {
+				return fmt.Errorf("selfcheck: shard %d joined without a split", ev.Shard)
+			}
+			split[ev.Shard] = false
+		case lcds.EventOverflowDropped:
+			droppedTotal = ev.B
+		}
+	}
+	for shard, n := range starts {
+		if ends[shard] != n {
+			return fmt.Errorf("selfcheck: shard %d has %d RebuildStart but %d RebuildEnd", shard, n, ends[shard])
+		}
+	}
+	if got := s.dyn.EventLog().Dropped(); droppedTotal != got {
+		return fmt.Errorf("selfcheck: OverflowDropped accounts %d drops, ring counter says %d", droppedTotal, got)
+	}
+	fmt.Printf("# selfcheck: timeline coherent (%d events, %d rebuilds, %d dropped)\n",
+		len(evs), rebuilds, s.dyn.EventLog().Dropped())
 	return nil
 }
 

@@ -118,6 +118,77 @@ func TestDynamicExposition(t *testing.T) {
 	}
 }
 
+// TestTimelineEndpoint churns a dynamic dictionary and checks /debug/timeline
+// serves the flight recorder with working since-cursor pagination, and that
+// the per-type event counters appear in /metrics.
+func TestTimelineEndpoint(t *testing.T) {
+	keys := genKeys(1500, 17)
+	dd, err := lcds.NewDynamic(keys[:1000], 0.05, lcds.WithSeed(17),
+		lcds.WithTelemetry(lcds.TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[1000:1300] {
+		if _, err := dd.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dd.Quiesce()
+	s := &server{d: dynAdapter{dd}, dyn: dd, keys: keys[:1000]}
+
+	rec := httptest.NewRecorder()
+	s.handleTimeline(rec, httptest.NewRequest("GET", "/debug/timeline?max=4", nil))
+	var page1 timelineReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &page1); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(page1.Events) != 4 {
+		t.Fatalf("page 1 has %d events, want 4", len(page1.Events))
+	}
+	rec = httptest.NewRecorder()
+	s.handleTimeline(rec, httptest.NewRequest("GET",
+		"/debug/timeline?since="+strconv.FormatUint(page1.NextCursor, 10), nil))
+	var page2 timelineReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &page2); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(page2.Events) == 0 {
+		t.Fatal("page 2 empty: cursor did not advance through the timeline")
+	}
+	if first := page2.Events[0].Seq; first != page1.NextCursor+1 {
+		t.Fatalf("page 2 starts at seq %d, want %d", first, page1.NextCursor+1)
+	}
+	for _, bad := range []string{"?since=x", "?max=0", "?max=x"} {
+		rec = httptest.NewRecorder()
+		s.handleTimeline(rec, httptest.NewRequest("GET", "/debug/timeline"+bad, nil))
+		if rec.Code != 400 {
+			t.Errorf("query %q got status %d, want 400", bad, rec.Code)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `lcds_events_total{type="rebuild_end"}`) {
+		t.Error("metrics missing per-type event counter")
+	}
+	if strings.Contains(body, `lcds_events_total{type="rebuild_end"} 0`) {
+		t.Error("rebuild_end counter still zero after forced rebuilds")
+	}
+	if !strings.Contains(body, "lcds_events_dropped_total 0") {
+		t.Error("metrics missing exact drop counter")
+	}
+	if !strings.Contains(body, `lcds_latency_ns{quantile="0.999"}`) {
+		t.Error("latency summary missing p999 quantile")
+	}
+	if !strings.Contains(body, `lcds_rebuild_ns{shard="0",quantile="0.999"}`) {
+		t.Error("rebuild summary missing p999 quantile")
+	}
+	if !strings.Contains(body, `lcds_writer_pause_ns{shard="0",quantile="0.5"}`) {
+		t.Error("writer pause summary missing p50 quantile")
+	}
+}
+
 // TestParseDist pins the -dist flag grammar and the resulting supports.
 func TestParseDist(t *testing.T) {
 	keys := genKeys(64, 3)

@@ -27,6 +27,8 @@ var RequiredMetrics = []string{
 	"lcds_uptime_seconds",
 	"lcds_latency_ns",
 	"lcds_batch_latency_ns",
+	"lcds_events_total",
+	"lcds_events_dropped_total",
 	"lcds_absorbed_writes_total",
 	"lcds_phase_seals_total",
 	"lcds_phase_absorbed_total",
@@ -37,8 +39,11 @@ var RequiredMetrics = []string{
 // writeMetrics renders a telemetry snapshot in the Prometheus text
 // exposition format (version 0.0.4), with no client library: the snapshot
 // is already a consistent point-in-time read, so exposition is pure
-// formatting.
-func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
+// formatting. samplingK is the sampling factor read atomically at scrape
+// time (Telemetry.Sample), not the snapshot's copy: an adaptive controller
+// retunes between AdaptTick and the scrape, and the gauge must report the
+// factor in force now.
+func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState, samplingK int) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -56,7 +61,7 @@ func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
 	gauge("lcds_max_phi_n", "max_j phi(j) * n, the paper's absolute contention headline.", s.MaxPhiN)
 	gauge("lcds_max_phi_cell", "Flat index of the hottest cell.", float64(s.MaxPhiCell))
 	gauge("lcds_sample", "Probe sampling rate (1 = every probe counted).", float64(s.Sample))
-	gauge("lcds_sampling_k", "Sampling factor k currently in force (controller-tuned when lcds_sampling_adaptive is 1).", float64(s.Sample))
+	gauge("lcds_sampling_k", "Sampling factor k currently in force (controller-tuned when lcds_sampling_adaptive is 1).", float64(samplingK))
 	adaptiveVal := 0.0
 	if s.Adaptive {
 		adaptiveVal = 1
@@ -82,6 +87,15 @@ func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
 
 	summary("lcds_latency_ns", "Contains latency in nanoseconds (log2 buckets; quantiles are bucket upper bounds).", w, s.Latency)
 	summary("lcds_batch_latency_ns", "ContainsBatch latency in nanoseconds per batch.", w, s.BatchLatency)
+
+	// Flight-recorder series: one counter per event type (all types always
+	// present, zero included, so dashboards never see a series appear late)
+	// plus the exact overflow-drop counter.
+	fmt.Fprintf(w, "# HELP lcds_events_total Flight-recorder events recorded, by type.\n# TYPE lcds_events_total counter\n")
+	for ty := lcds.EventEpochSealed; ty <= lcds.EventOverflowDropped; ty++ {
+		fmt.Fprintf(w, "lcds_events_total{type=%q} %d\n", ty.String(), s.Events.ByType[ty.String()])
+	}
+	counter("lcds_events_dropped_total", "Flight-recorder emissions refused on a full ring (counted exactly).", s.Events.Dropped)
 
 	// Two-phase write-absorption series. The headers are unconditional so the
 	// RequiredMetrics contract holds in every configuration; the labeled
@@ -116,9 +130,12 @@ func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState) {
 		fmt.Fprintf(w, "lcds_cas_retries_total%s %d\n", sh, d.CASRetries)
 		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.5"), d.RebuildNs.P50)
 		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.99"), d.RebuildNs.P99)
+		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.999"), d.RebuildNs.P999)
 		fmt.Fprintf(w, "lcds_rebuild_ns_sum%s %d\n", sh, d.RebuildNs.Sum)
 		fmt.Fprintf(w, "lcds_rebuild_ns_count%s %d\n", sh, d.RebuildNs.Count)
+		fmt.Fprintf(w, "lcds_writer_pause_ns%s %d\n", labels(d.Shard, "0.5"), d.WriterPauseNs.P50)
 		fmt.Fprintf(w, "lcds_writer_pause_ns%s %d\n", labels(d.Shard, "0.99"), d.WriterPauseNs.P99)
+		fmt.Fprintf(w, "lcds_writer_pause_ns%s %d\n", labels(d.Shard, "0.999"), d.WriterPauseNs.P999)
 		fmt.Fprintf(w, "lcds_writer_pause_ns_sum%s %d\n", sh, d.WriterPauseNs.Sum)
 		fmt.Fprintf(w, "lcds_writer_pause_ns_count%s %d\n", sh, d.WriterPauseNs.Count)
 	}
@@ -137,6 +154,7 @@ func summary(name, help string, w io.Writer, h lcds.TelemetryHistogram) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
 	fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", name, h.P50)
 	fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", name, h.P99)
+	fmt.Fprintf(w, "%s{quantile=\"0.999\"} %d\n", name, h.P999)
 	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }

@@ -1,0 +1,32 @@
+//go:build !otlp
+
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	lcds "repro"
+)
+
+// The -otlp flags are registered in every build so a misdirected invocation
+// fails with a clear message instead of a flag-parse error; the exporter
+// itself only exists under the otlp build tag (internal/telemetry/otlp).
+var (
+	otlpEndpoint = flag.String("otlp", "", "export metrics and flight-recorder spans to this OTLP/HTTP endpoint (requires building with -tags otlp)")
+	otlpEvery    = flag.Duration("otlp-every", 10*time.Second, "OTLP export interval")
+)
+
+// otlpConfigure (no-otlp build): refuse -otlp so the operator learns the
+// binary lacks the exporter rather than silently exporting nothing.
+func otlpConfigure(cfg *lcds.TelemetryConfig) {
+	if *otlpEndpoint != "" {
+		fatal(fmt.Errorf("-otlp requires a binary built with -tags otlp"))
+	}
+	_ = otlpEvery
+}
+
+// startOTLP (no-otlp build): nothing to start.
+func startOTLP(ctx context.Context, s *server) {}

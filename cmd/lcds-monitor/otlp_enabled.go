@@ -1,0 +1,75 @@
+//go:build otlp
+
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/telemetry/otlp"
+
+	lcds "repro"
+)
+
+var (
+	otlpEndpoint = flag.String("otlp", "", "export metrics and flight-recorder spans to this OTLP/HTTP endpoint (e.g. http://localhost:4318); sampled query traces become OTLP spans instead of filling /debug/telemetry's ring")
+	otlpEvery    = flag.Duration("otlp-every", 10*time.Second, "OTLP export interval")
+
+	otlpExporter *otlp.Exporter
+	otlpTracer   *otlp.SpanTracer
+)
+
+// otlpConfigure builds the exporter and, when query tracing is on, replaces
+// the internal trace ring with the OTLP span tracer.
+func otlpConfigure(cfg *lcds.TelemetryConfig) {
+	if *otlpEndpoint == "" {
+		return
+	}
+	exp, err := otlp.New(otlp.Config{Endpoint: *otlpEndpoint, Service: "lcds-monitor"})
+	if err != nil {
+		fatal(err)
+	}
+	otlpExporter = exp
+	if cfg.TraceEvery > 0 {
+		otlpTracer = exp.NewSpanTracer(64)
+		cfg.Tracer = otlpTracer
+	}
+}
+
+// startOTLP runs the export loop: every -otlp-every it posts the telemetry
+// snapshot as OTLP metrics and the flight recorder's fresh window as OTLP
+// spans (rebuilds and split phases), advancing a since-cursor so each event
+// exports once.
+func startOTLP(ctx context.Context, s *server) {
+	if otlpExporter == nil {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(*otlpEvery)
+		defer ticker.Stop()
+		var cursor uint64
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if err := otlpExporter.ExportSnapshot(s.d.Telemetry().Snapshot()); err != nil {
+					fmt.Fprintln(os.Stderr, "lcds-monitor: otlp:", err)
+				}
+				evs, next := s.d.Timeline(cursor, 4096)
+				cursor = next
+				if err := otlpExporter.ExportEvents(evs); err != nil {
+					fmt.Fprintln(os.Stderr, "lcds-monitor: otlp:", err)
+				}
+				if otlpTracer != nil {
+					if err := otlpTracer.Flush(); err != nil {
+						fmt.Fprintln(os.Stderr, "lcds-monitor: otlp:", err)
+					}
+				}
+			}
+		}
+	}()
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 )
 
 // DynamicDict is a mutable low-contention dictionary — the paper's §4
@@ -44,7 +45,11 @@ type DynamicDict struct {
 	// Dynamic telemetry is cell-agnostic (tables are replaced on rebuild):
 	// probe/step counters, latency histograms and per-shard rebuild metrics,
 	// but no per-cell Φ̂ vector.
-	tel     *telemetry.Telemetry
+	tel *telemetry.Telemetry
+	// events is the flight recorder the rebuild/phase lifecycle emits into:
+	// WithEventLog's log, or the telemetry layer's always-on log when only
+	// WithTelemetry was used. Never consulted on the query path.
+	events  *events.Log
 	scratch sync.Pool // *core.QueryScratch for traced queries
 }
 
@@ -68,25 +73,33 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 		Epsilon: bufferFrac,
 		Static:  cfg.o.params,
 	}
+	elog := cfg.o.newEventLog()
 	var tel *telemetry.Telemetry
 	if cfg.o.telem != nil {
 		// Cell-agnostic mode: the dynamic tables are replaced on every
 		// rebuild, so there is no stable per-cell index space to count in.
-		tel = telemetry.New(*cfg.o.telem, 0, len(initial))
+		tc := *cfg.o.telem
+		tc.Events = elog
+		tel = telemetry.New(tc, 0, len(initial))
 		params.Sink = tel
+		elog = tel.Events() // always-on log when none was configured
 	}
-	d := &DynamicDict{src: cfg.o.querySource(), tel: tel}
+	d := &DynamicDict{src: cfg.o.querySource(), tel: tel, events: elog}
 	d.scratch.New = func() any { return new(core.QueryScratch) }
 	if cfg.o.shards > 1 {
 		// Each shard gets its own metrics slot and — with WithWriteAbsorption
 		// — its own hot-key classifier, because shards seal and reconcile
-		// phases independently.
+		// phases independently. All shards share one flight recorder; the
+		// shard hook labels their events with the shard index.
 		configure := func(i int, sp *dynamic.Params) {
 			if tel != nil {
 				sp.Metrics = tel.DynamicShard(i)
 			}
+			sp.Events = elog
 			if cfg.o.absorb {
-				sp.Hot = telemetry.NewHotKeyClassifier(telemetry.HotKeyConfig{})
+				hc := telemetry.NewHotKeyClassifier(telemetry.HotKeyConfig{})
+				hc.SetEventLog(elog, i)
+				sp.Hot = hc
 			}
 		}
 		sharded, err := shard.NewDynamicWithHooks(initial, cfg.o.shards, params, cfg.o.seed, configure)
@@ -99,8 +112,11 @@ func NewDynamic(initial []uint64, bufferFrac float64, opts ...Option) (*DynamicD
 	if tel != nil {
 		params.Metrics = tel.DynamicShard(0)
 	}
+	params.Events = elog
 	if cfg.o.absorb {
-		params.Hot = telemetry.NewHotKeyClassifier(telemetry.HotKeyConfig{})
+		hc := telemetry.NewHotKeyClassifier(telemetry.HotKeyConfig{})
+		hc.SetEventLog(elog, 0)
+		params.Hot = hc
 	}
 	inner, err := dynamic.New(initial, params, cfg.o.seed)
 	if err != nil {

@@ -102,6 +102,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/rng"
 	"repro/internal/scheme"
+	"repro/internal/telemetry/events"
 )
 
 // Slot tags in the buffer (the top bits of a packed slot word).
@@ -175,6 +176,20 @@ type Params struct {
 	// default — keeps the pure claim-slot protocol, bit-identical to
 	// absorption-free builds.
 	Hot HotClassifier
+	// Events, when non-nil, receives the structured flight-recorder events
+	// of the epoch life cycle: EpochSealed at the rebuild fence,
+	// RebuildStart/RebuildEnd around each construction, and PhaseSplit/
+	// PhaseJoined at write-absorption phase transitions. Emission is
+	// lock-free and never blocks the rebuild path.
+	Events *events.Log
+	// EventShard labels emitted events with this shard index (the sharded
+	// composite sets it per shard; 0 for unsharded dictionaries).
+	EventShard int
+	// ShardEvents marks this dictionary as one shard of a multi-shard
+	// composite: each published rebuild additionally emits a ShardRebuild
+	// event, so composite-level consumers can watch shard churn without
+	// decoding per-shard streams.
+	ShardEvents bool
 }
 
 // Metrics receives a dynamic dictionary's rebuild-side telemetry.
@@ -199,6 +214,16 @@ type Metrics interface {
 	// SetPhase publishes the freshly published epoch's hot-set size
 	// (0 = joined phase).
 	SetPhase(hotKeys int)
+}
+
+// emit records one flight-recorder event when a log is attached. Emission
+// is lock-free (one CAS claim on the bounded ring) and never blocks a
+// rebuild or a writer: a full ring drops the event onto an exact counter
+// that the log surfaces as an OverflowDropped timeline entry.
+func (d *Dict) emit(typ events.Type, a, b, c uint64) {
+	if d.p.Events != nil {
+		d.p.Events.Emit(typ, d.p.EventShard, a, b, c)
+	}
 }
 
 // stepSink offsets every observed probe's step — the buffer table's sink,
@@ -390,6 +415,7 @@ func New(initial []uint64, p Params, seed uint64) (*Dict, error) {
 	d.epoch = 1
 	keys := append([]uint64(nil), initial...)
 	started := time.Now()
+	d.emit(events.RebuildStart, 1, uint64(len(keys)), 0)
 	base, err := core.Build(keys, d.p.Static, d.seed+1)
 	d.rebuilding = true
 	d.finishRebuild(base, err, 1, keys, started)
@@ -484,6 +510,7 @@ func (d *Dict) startRebuild() {
 	// decrement, so the scan reads each hot key's final (phase-seal-order
 	// last) write.
 	e.buf.seal()
+	d.emit(events.EpochSealed, uint64(ep), uint64(e.buf.buffered.Load()), 0)
 	if d.p.Hot != nil {
 		hotKeys, absorbedOps := 0, uint64(0)
 		if e.hot != nil {
@@ -497,6 +524,7 @@ func (d *Dict) startRebuild() {
 	keys := snapshotKeys(e)
 	d.delta = nil
 	started := time.Now()
+	d.emit(events.RebuildStart, uint64(ep), uint64(len(keys)), 0)
 	if d.p.SyncRebuild {
 		base, err := core.Build(keys, d.p.Static, d.seed+uint64(ep))
 		d.finishRebuild(base, err, ep, keys, started)
@@ -516,9 +544,11 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep int, keys []uint64, 
 	d.rebuilding = false
 	defer d.cond.Broadcast()
 	if err != nil {
+		durNs := time.Since(started).Nanoseconds()
 		if d.p.Metrics != nil {
-			d.p.Metrics.RebuildFailed(time.Since(started).Nanoseconds())
+			d.p.Metrics.RebuildFailed(durNs)
 		}
+		d.emit(events.RebuildEnd, events.MarkFailed(uint64(ep)), uint64(len(keys)), uint64(durNs))
 		d.rebuildErr = fmt.Errorf("dynamic: rebuild %d: %w", ep, err)
 		return
 	}
@@ -564,8 +594,9 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep int, keys []uint64, 
 		base.Table().SetSink(d.p.Sink)
 		ne.buf.acct.SetSink(stepSink{sink: d.p.Sink, off: base.MaxProbes()})
 	}
+	durNs := time.Since(started).Nanoseconds()
 	if d.p.Metrics != nil {
-		d.p.Metrics.RebuildDone(n, time.Since(started).Nanoseconds())
+		d.p.Metrics.RebuildDone(n, durNs)
 		d.p.Metrics.SetDeltaDepth(int(ne.buf.buffered.Load()))
 		if d.p.Hot != nil {
 			hotKeys := 0
@@ -575,7 +606,29 @@ func (d *Dict) finishRebuild(base *core.Dict, err error, ep int, keys []uint64, 
 			d.p.Metrics.SetPhase(hotKeys)
 		}
 	}
+	// Phase transitions are derived from the published states on either side
+	// of the swap, so PhaseSplit and PhaseJoined strictly alternate per
+	// dictionary (a split epoch followed by another split epoch is not a
+	// transition).
+	prevHot := 0
+	if old := d.cur.Load(); old != nil && old.hot != nil {
+		prevHot = len(old.hot.keys)
+	}
 	d.cur.Store(ne)
+	d.emit(events.RebuildEnd, uint64(ep), uint64(n), uint64(durNs))
+	if d.p.ShardEvents {
+		d.emit(events.ShardRebuild, uint64(ep), uint64(n), uint64(durNs))
+	}
+	newHot := 0
+	if ne.hot != nil {
+		newHot = len(ne.hot.keys)
+	}
+	switch {
+	case newHot > 0 && prevHot == 0:
+		d.emit(events.PhaseSplit, uint64(ep), uint64(newHot), 0)
+	case newHot == 0 && prevHot > 0:
+		d.emit(events.PhaseJoined, uint64(ep), 0, 0)
+	}
 	d.stats.Epoch = ep
 	d.stats.SnapshotN = n
 	d.stats.RebuildKeys += n

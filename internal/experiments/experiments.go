@@ -240,7 +240,7 @@ func (c Config) comparison(keys []uint64, seed uint64) ([]contention.Structure, 
 // experiments T1–T5 and F1–F4, the future-work extension X1, and the
 // ablations A1–A3.
 func IDs() []string {
-	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "X1", "X2", "W1", "P1", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"}
+	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "X1", "X2", "W1", "P1", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"}
 }
 
 // Run executes one experiment by identifier.
@@ -293,6 +293,8 @@ func Run(id string, cfg Config) (*Table, error) {
 		return A8(cfg)
 	case "A9":
 		return A9(cfg)
+	case "A10":
+		return A10(cfg)
 	case "W1":
 		return W1(cfg)
 	case "P1":

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 )
@@ -52,5 +53,59 @@ func TestA8ShapeTelemetryAgreement(t *testing.T) {
 	}
 	if !sawCore {
 		t.Fatal("A8 table has no lcds row")
+	}
+}
+
+// TestA10ShapeSketchAgreement checks the reservoir (step, cell) sketch
+// against the exact probe matrix on the two anchor regimes: under the
+// point-mass drive, deterministic-probe schemes (bsearch, cuckoo) must
+// score a perfect per-step top-1 with zero share error, while the core
+// randomized dictionary must NOT — its intermediate probes are randomized
+// precisely so no stable hot cell forms, so a high top-1 there would mean
+// the probe path stopped being input-independent.
+func TestA10ShapeSketchAgreement(t *testing.T) {
+	cfg := Quick()
+	cfg.Structures = []string{"lcds", "bsearch", "cuckoo"}
+	tab, err := A10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("A10 rows = %d, want 6 (3 structures x 2 dists)", len(tab.Rows))
+	}
+	frac := func(row []string) (hit, steps int) {
+		if _, err := fmt.Sscanf(row[5], "%d/%d", &hit, &steps); err != nil {
+			t.Fatalf("row %v top1 %q: %v", row, row[5], err)
+		}
+		return hit, steps
+	}
+	for _, row := range tab.Rows {
+		name, dist := row[0], row[1]
+		hit, steps := frac(row)
+		if steps == 0 {
+			t.Fatalf("%s/%s: no steps compared", name, dist)
+		}
+		if row[4] == "0" {
+			t.Fatalf("%s/%s: sketch retained no samples", name, dist)
+		}
+		if dist != "point" {
+			continue
+		}
+		switch name {
+		case "bsearch", "cuckoo":
+			if hit != steps {
+				t.Errorf("%s/point: top1 %d/%d, want perfect — deterministic probe path has one cell per step", name, hit, steps)
+			}
+			if row[7] != "0.000" {
+				t.Errorf("%s/point: shareΔmax %s, want 0.000", name, row[7])
+			}
+			if row[8] != "1.000" {
+				t.Errorf("%s/point: hotShare %s, want 1.000", name, row[8])
+			}
+		case "lcds":
+			if 2*hit > steps {
+				t.Errorf("lcds/point: top1 %d/%d — randomized intermediate probes should leave most steps without a stable argmax", hit, steps)
+			}
+		}
 	}
 }

@@ -72,6 +72,13 @@ func NewDynamicWithHooks(initial []uint64, shards int, p dynamic.Params, seed ui
 		if configure != nil {
 			configure(i, &sp)
 		}
+		if sp.Events != nil {
+			// Every shard emits into the one shared flight recorder, labeled
+			// with its index; multi-shard composites additionally surface
+			// each shard's published rebuilds as ShardRebuild events.
+			sp.EventShard = i
+			sp.ShardEvents = shards > 1
+		}
 		inner, err := dynamic.New(part, sp, subseed(seed, i))
 		if err != nil {
 			return nil, fmt.Errorf("shard %d/%d: %w", i, shards, err)

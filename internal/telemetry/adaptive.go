@@ -3,6 +3,8 @@ package telemetry
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry/events"
 )
 
 // AdaptiveConfig makes the probe sampling factor k self-tuning: a feedback
@@ -88,7 +90,8 @@ func (t *Telemetry) AdaptTick(elapsed time.Duration) int {
 	t.adaptLast = total
 	rate := float64(delta) / elapsed.Seconds()
 
-	k := t.curMask.Load() + 1
+	prev := t.curMask.Load() + 1
+	k := prev
 	up := t.adapt.TargetProbesPerSec * (1 + t.adapt.Hysteresis)
 	down := t.adapt.TargetProbesPerSec * (1 - t.adapt.Hysteresis)
 	for rate > up && k < uint64(t.adapt.MaxSample) {
@@ -100,5 +103,8 @@ func (t *Telemetry) AdaptTick(elapsed time.Duration) int {
 		rate *= 2
 	}
 	t.curMask.Store(k - 1)
+	if k != prev {
+		t.events.Emit(events.SamplingRetuned, 0, prev, k, 0)
+	}
 	return int(k)
 }

@@ -42,6 +42,7 @@ type HistogramSnapshot struct {
 	Mean    float64  `json:"mean"`
 	P50     uint64   `json:"p50"`
 	P99     uint64   `json:"p99"`
+	P999    uint64   `json:"p999"`
 	Max     uint64   `json:"max"` // upper bound of the highest non-empty bucket
 	Buckets []uint64 `json:"buckets,omitempty"`
 }
@@ -76,6 +77,7 @@ func (h *LogHistogram) Snapshot() HistogramSnapshot {
 	s.Max = BucketUpper(last)
 	s.P50 = h.quantile(s.Buckets, s.Count, 0.50)
 	s.P99 = h.quantile(s.Buckets, s.Count, 0.99)
+	s.P999 = h.quantile(s.Buckets, s.Count, 0.999)
 	return s
 }
 

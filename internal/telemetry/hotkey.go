@@ -3,6 +3,8 @@ package telemetry
 import (
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/telemetry/events"
 )
 
 // HotKeyConfig tunes the write-absorption classifier. The zero value selects
@@ -84,6 +86,13 @@ type HotKeyClassifier struct {
 
 	// Reclassify-only state (serialized by the dictionary mutex).
 	cool map[uint64]int // consecutive cool phases per current hot key
+
+	// Flight-recorder sink for HotKeyPromoted/HotKeyDemoted events, nil
+	// when unattached. Emitted keys are hashed (sketchHash), never raw —
+	// the timeline may be exposed on a debug endpoint and must not leak
+	// the keyset.
+	events      *events.Log
+	eventsShard int
 }
 
 // NewHotKeyClassifier builds a classifier with the given tuning (zero
@@ -100,6 +109,15 @@ func NewHotKeyClassifier(cfg HotKeyConfig) *HotKeyClassifier {
 		mask:  uint64(n - 1),
 		cool:  make(map[uint64]int),
 	}
+}
+
+// SetEventLog attaches the flight recorder the classifier emits promotion
+// and demotion events into, labeled with the given shard index. Call before
+// the classifier is shared (the facade attaches it at construction); events
+// carry hashed keys only.
+func (c *HotKeyClassifier) SetEventLog(l *events.Log, shard int) {
+	c.events = l
+	c.eventsShard = shard
 }
 
 // sketchHash spreads keys over the sketch (splitmix64 finalizer).
@@ -170,6 +188,9 @@ func (c *HotKeyClassifier) Reclassify(current []uint64, writes func(key uint64) 
 		c.cool[k]++
 		if c.cool[k] >= c.cfg.DemotePhases {
 			delete(c.cool, k)
+			if c.events != nil {
+				c.events.Emit(events.HotKeyDemoted, c.eventsShard, sketchHash(k), 0, 0)
+			}
 			continue
 		}
 		next = append(next, k)
@@ -206,6 +227,9 @@ func (c *HotKeyClassifier) Reclassify(current []uint64, writes func(key uint64) 
 		}
 		next = append(next, cand.key)
 		c.cool[cand.key] = 0
+		if c.events != nil {
+			c.events.Emit(events.HotKeyPromoted, c.eventsShard, sketchHash(cand.key), cand.count, 0)
+		}
 	}
 	if len(next) > c.cfg.MaxHot {
 		next = next[:c.cfg.MaxHot]

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/cellprobe"
+	"repro/internal/telemetry/events"
 )
 
 // Config configures a Telemetry instance. The zero value is valid: count
@@ -80,6 +81,19 @@ type Config struct {
 	// and maxΦ̂ — the facade uses it for per-shard views of the sharded
 	// composite. Ranges require per-cell accounting (cells > 0 in New).
 	Ranges []Range
+	// Events, when non-nil, is the flight recorder this instance emits into
+	// and reports from — the facade shares one log between the telemetry
+	// layer and the dynamic dictionary's rebuild path. Nil creates a
+	// private log with default capacities: the recorder is always on.
+	Events *events.Log
+	// SketchSlots sizes each per-stripe reservoir of the (step, cell)
+	// sketch (default 256). The sketch needs per-cell accounting, so it
+	// exists only when cells > 0 in New; set SketchSlots < 0 to disable it
+	// there too.
+	SketchSlots int
+	// SketchTopK is how many hottest cells the snapshot reports per step
+	// (default 3).
+	SketchTopK int
 }
 
 // Range names a span of flat cell indices for per-range snapshot views.
@@ -131,6 +145,8 @@ type Telemetry struct {
 
 	ring   *Ring
 	tracer Tracer
+	events *events.Log
+	sketch *StepCellSketch // nil in cell-agnostic mode or when disabled
 
 	pool sync.Pool // *handle
 
@@ -199,8 +215,15 @@ func New(cfg Config, cells, n int) *Telemetry {
 		tracer:       cfg.Tracer,
 		started:      time.Now(),
 	}
+	t.events = cfg.Events
+	if t.events == nil {
+		t.events = events.NewLog(0, 0)
+	}
 	if cells > 0 {
 		t.perCell = cellprobe.NewStripedVector(cells, stripes)
+		if cfg.SketchSlots >= 0 {
+			t.sketch = NewStepCellSketch(cfg.SketchSlots, stripes)
+		}
 	}
 	if cfg.Adaptive != nil {
 		ac, err := cfg.Adaptive.withDefaults()
@@ -299,7 +322,24 @@ func (t *Telemetry) ProbeObserved(step, cell int) {
 			t.perCell.AddStripe(h.stripe, cell)
 		}
 	}
+	if t.sketch != nil {
+		// Feed the reservoir with the post-sampling probe stream: the
+		// sketch estimates the distribution of recorded (step, cell)
+		// pairs, which matches the scaled counters above.
+		t.sketch.offer(h, step, cell)
+	}
 	t.pool.Put(h)
+}
+
+// Events returns the flight recorder this instance emits into — always
+// non-nil (a private log is created when the configuration supplies none).
+func (t *Telemetry) Events() *events.Log { return t.events }
+
+// Timeline drains the flight recorder and returns up to max events with
+// sequence numbers beyond since, oldest first, plus the cursor for the next
+// call — the monitor's /debug/timeline pagination contract.
+func (t *Telemetry) Timeline(since uint64, max int) ([]events.Event, uint64) {
+	return t.events.Timeline(since, max)
 }
 
 // ObserveQuery records the completion of one membership query: its outcome
@@ -431,10 +471,19 @@ type Snapshot struct {
 	TopCells []HotCell   `json:"top_cells,omitempty"`
 	Ranges   []RangeView `json:"ranges,omitempty"`
 
+	// StepCells is the per-step hottest-cell table derived from the
+	// reservoir-sampled (step, cell) sketch, present when per-cell
+	// accounting and the sketch are enabled.
+	StepCells []StepCellView `json:"step_cells,omitempty"`
+
 	Latency      HistogramSnapshot `json:"latency_ns"`
 	BatchLatency HistogramSnapshot `json:"batch_latency_ns"`
 
 	Dynamic []DynamicSnapshot `json:"dynamic,omitempty"`
+
+	// Events summarizes the flight recorder: per-type counts, the exact
+	// drop total, and the newest timeline cursor.
+	Events events.Stats `json:"events"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -515,11 +564,19 @@ func (t *Telemetry) Snapshot() Snapshot {
 			s.Ranges = append(s.Ranges, rv)
 		}
 	}
+	if t.sketch != nil {
+		k := t.cfg.SketchTopK
+		if k <= 0 {
+			k = 3
+		}
+		s.StepCells = t.sketch.Snapshot(k)
+	}
 	t.dynMu.Lock()
 	for _, m := range t.dyn {
 		s.Dynamic = append(s.Dynamic, m.Snapshot())
 	}
 	t.dynMu.Unlock()
+	s.Events = t.events.Stats()
 	return s
 }
 

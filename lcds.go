@@ -35,6 +35,7 @@ import (
 	"repro/internal/scheme"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 )
 
 // MaxKey is the exclusive upper bound of the key universe.
@@ -53,6 +54,12 @@ type Dict struct {
 	// tel is the live telemetry layer, nil unless WithTelemetry was used —
 	// the query path's only telemetry cost when off is this one nil check.
 	tel *telemetry.Telemetry
+	// events is the flight recorder: WithEventLog's log, or the telemetry
+	// layer's always-on log when only WithTelemetry was used. It is never
+	// consulted on the query path — static dictionaries emit no structural
+	// events of their own (the adaptive sampler does), so an event log
+	// costs queries nothing.
+	events *events.Log
 	// scratch pools per-query working memory (coefficient buffers,
 	// histogram words) so the steady-state read path allocates nothing.
 	scratch sync.Pool
@@ -91,12 +98,13 @@ type QuerySource = rng.Source
 
 // options collects construction options.
 type options struct {
-	seed   uint64
-	src    rng.Source
-	params core.Params
-	shards int
-	telem  *telemetry.Config // nil: telemetry off
-	absorb bool              // two-phase write absorption (dynamic only)
+	seed     uint64
+	src      rng.Source
+	params   core.Params
+	shards   int
+	telem    *telemetry.Config // nil: telemetry off
+	absorb   bool              // two-phase write absorption (dynamic only)
+	eventlog *EventLogConfig   // nil: no explicit flight recorder
 }
 
 // Option configures New.
@@ -260,9 +268,7 @@ func New(keys []uint64, opts ...Option) (*Dict, error) {
 			return nil, err
 		}
 		d := newShardDict(sharded, cfg.o.seed, cfg.o.querySource())
-		if cfg.o.telem != nil {
-			d.installTelemetry(*cfg.o.telem)
-		}
+		d.finishOptions(cfg.o)
 		return d, nil
 	}
 	inner, err := core.Build(keys, cfg.o.params, cfg.o.seed)
@@ -270,10 +276,30 @@ func New(keys []uint64, opts ...Option) (*Dict, error) {
 		return nil, err
 	}
 	d := newDict(inner, cfg.o.seed, cfg.o.querySource())
-	if cfg.o.telem != nil {
-		d.installTelemetry(*cfg.o.telem)
-	}
+	d.finishOptions(cfg.o)
 	return d, nil
+}
+
+// finishOptions attaches the optional observability layers — telemetry and
+// the flight recorder — to a freshly constructed dictionary, before it is
+// shared (so no installation races a query).
+func (d *Dict) finishOptions(o options) {
+	elog := o.newEventLog()
+	if o.telem != nil {
+		tc := *o.telem
+		tc.Events = elog
+		d.installTelemetry(tc)
+		elog = d.tel.Events()
+	}
+	d.events = elog
+}
+
+// newEventLog creates the explicitly configured flight recorder, or nil.
+func (o options) newEventLog() *events.Log {
+	if o.eventlog == nil {
+		return nil
+	}
+	return events.NewLog(o.eventlog.RingCapacity, o.eventlog.TimelineCapacity)
 }
 
 // querySource resolves the configured query source, defaulting to a
@@ -471,9 +497,7 @@ func Read(r io.Reader, opts ...Option) (*Dict, error) {
 	// The wire format carries no query-side tuning; apply it post-read.
 	inner.SetBatchGroup(cfg.o.params.BatchGroup)
 	d := newDict(inner, cfg.o.seed, cfg.o.querySource())
-	if cfg.o.telem != nil {
-		d.installTelemetry(*cfg.o.telem)
-	}
+	d.finishOptions(cfg.o)
 	return d, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/scheme"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/events"
 )
 
 // TelemetryConfig configures the live observability layer (WithTelemetry):
@@ -65,6 +66,111 @@ func WithTelemetry(cfg TelemetryConfig) Option {
 		cc := cfg
 		c.o.telem = &cc
 	}
+}
+
+// Event is one entry of the flight-recorder timeline: a typed, timestamped
+// record of a structural transition (epoch seal, rebuild, phase split/join,
+// hot-key promotion, sampling retune, overflow). Payload words A/B/C are
+// decoded per type by its JSON encoding; key-carrying events store hashed
+// keys only.
+type Event = events.Event
+
+// EventType discriminates flight-recorder events.
+type EventType = events.Type
+
+// EventLog is the flight recorder itself: a lock-free multi-producer ring
+// drained into a bounded timeline. Obtain a dictionary's log with EventLog()
+// or share one across dictionaries via WithEventLog.
+type EventLog = events.Log
+
+// EventLogStats summarizes a flight recorder: events recorded and dropped,
+// per-type counts, and the next timeline cursor.
+type EventLogStats = events.Stats
+
+// Flight-recorder event types. See internal/telemetry/events for the payload
+// carried by each.
+const (
+	EventEpochSealed     = events.EpochSealed
+	EventRebuildStart    = events.RebuildStart
+	EventRebuildEnd      = events.RebuildEnd
+	EventPhaseSplit      = events.PhaseSplit
+	EventPhaseJoined     = events.PhaseJoined
+	EventHotKeyPromoted  = events.HotKeyPromoted
+	EventHotKeyDemoted   = events.HotKeyDemoted
+	EventSamplingRetuned = events.SamplingRetuned
+	EventShardRebuild    = events.ShardRebuild
+	EventOverflowDropped = events.OverflowDropped
+)
+
+// EventFailedRebuild decodes a RebuildEnd event's A word into the epoch and
+// whether the rebuild failed (construction error; the old epoch stayed).
+func EventFailedRebuild(a uint64) (epoch uint64, failed bool) {
+	return events.FailedRebuild(a)
+}
+
+// EventLogConfig sizes the flight recorder enabled by WithEventLog. Zero
+// values select the defaults (1024-slot ring, 4096-event timeline);
+// capacities round up to powers of two.
+type EventLogConfig struct {
+	// RingCapacity bounds the lock-free staging ring event emitters write
+	// into. Emission never blocks: when drains fall behind and the ring
+	// fills, events are dropped and counted exactly (an OverflowDropped
+	// event records each gap in the timeline).
+	RingCapacity int
+	// TimelineCapacity bounds the drained timeline Timeline() pages through;
+	// older events fall off. Reads (Timeline, Stats, the monitor's
+	// /debug/timeline) drain the ring, so only the window between reads
+	// needs to fit in RingCapacity.
+	TimelineCapacity int
+}
+
+// WithEventLog enables the flight recorder on New, Read and NewDynamic: an
+// always-on, lock-free timeline of structural events — epoch seals, rebuild
+// start/end with durations, split-phase transitions, hot-key promotions and
+// demotions (hashed keys), sampling retunes — queryable with Timeline and
+// served by cmd/lcds-monitor at /debug/timeline. Emission is a single CAS
+// plus plain stores on the writer's claimed slot, off the query path
+// entirely; a dictionary with only an event log queries at the same speed as
+// a bare one. WithTelemetry implies an event log (the telemetry layer emits
+// sampling retunes into it); use WithEventLog alongside it to size the log
+// explicitly or without it for events with zero query-path instrumentation.
+func WithEventLog(cfg EventLogConfig) Option {
+	return func(c *opterr) {
+		if cfg.RingCapacity < 0 || cfg.TimelineCapacity < 0 {
+			c.err = fmt.Errorf("lcds: negative event log capacity (%d, %d)", cfg.RingCapacity, cfg.TimelineCapacity)
+			return
+		}
+		cc := cfg
+		c.o.eventlog = &cc
+	}
+}
+
+// EventLog returns the dictionary's flight recorder, or nil when it was
+// built without WithEventLog and without WithTelemetry.
+func (d *Dict) EventLog() *EventLog { return d.events }
+
+// EventLog returns the dictionary's flight recorder, or nil when it was
+// built without WithEventLog and without WithTelemetry.
+func (d *DynamicDict) EventLog() *EventLog { return d.events }
+
+// Timeline returns up to max flight-recorder events with sequence numbers
+// > since, oldest first, plus the cursor to pass as the next since. Events
+// that aged out of the timeline window are skipped (the cursor never
+// sticks). A dictionary without an event log returns (nil, since).
+func (d *Dict) Timeline(since uint64, max int) ([]Event, uint64) {
+	if d.events == nil {
+		return nil, since
+	}
+	return d.events.Timeline(since, max)
+}
+
+// Timeline returns up to max flight-recorder events with sequence numbers
+// > since, oldest first, plus the next cursor. See Dict.Timeline.
+func (d *DynamicDict) Timeline(since uint64, max int) ([]Event, uint64) {
+	if d.events == nil {
+		return nil, since
+	}
+	return d.events.Timeline(since, max)
 }
 
 // Telemetry returns the dictionary's live telemetry handle, or nil when it
