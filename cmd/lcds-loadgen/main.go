@@ -1,0 +1,350 @@
+// Command lcds-loadgen is an open-loop load generator for lcds-server: it
+// drives the named workload scenarios from internal/workload over the HTTP
+// membership API, sweeping worker counts, and reports throughput plus
+// p50/p99/p999 latency into a BENCH-style JSON file.
+//
+// Open loop means every request has an intended dispatch time fixed by the
+// target rate alone; latency is measured from that intended time, not from
+// the actual send. A server that falls behind therefore shows the queueing
+// delay it inflicts (no coordinated omission), which is the honest way to
+// measure a tail.
+//
+// The scenario schedule is the deterministic one the rest of the suite
+// uses: workers claim positions of the same realized op sequence, so a run
+// at -workers 1 and a run at -workers 8 issue exactly the same multiset of
+// operations against the server.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// loadResult is one (scenario, workers) cell of the sweep.
+type loadResult struct {
+	Scenario    string  `json:"scenario"`
+	Workers     int     `json:"workers"`
+	TargetRate  float64 `json:"target_rate"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Ops    uint64 `json:"ops"`
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	// Errors counts transport failures, non-2xx answers, and — on read-only
+	// scenarios, where every scheduled key is a member — reads answered
+	// false. Misses counts false reads on mutating scenarios, where they are
+	// legitimate.
+	Errors uint64 `json:"errors"`
+	Misses uint64 `json:"misses"`
+
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	LatencyP50Ns  uint64  `json:"latency_p50_ns"`
+	LatencyP99Ns  uint64  `json:"latency_p99_ns"`
+	LatencyP999Ns uint64  `json:"latency_p999_ns"`
+	LatencyMaxNs  uint64  `json:"latency_max_ns"`
+	LatencyMeanNs float64 `json:"latency_mean_ns"`
+}
+
+// loadReport is the committed JSON artifact, one result per sweep cell.
+type loadReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Addr       string       `json:"addr"`
+	N          int          `json:"n"`
+	Seed       uint64       `json:"seed"`
+	Results    []loadResult `json:"results"`
+}
+
+// workerState is one worker's private ledger; workers never share mutable
+// state beyond the scenario's position cursor, so the hot loop is
+// contention-free and the ledgers merge after the run.
+type workerState struct {
+	hist   *telemetry.LogHistogram
+	reads  uint64
+	writes uint64
+	errors uint64
+	misses uint64
+}
+
+type client struct {
+	http *http.Client
+	addr string
+}
+
+// readKey issues GET /contains and reports membership; any transport error
+// or non-200 answer is an error.
+func (c *client) readKey(key uint64) (member bool, err error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/contains?key=%d", c.addr, key))
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Member bool `json:"member"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, err
+	}
+	return body.Member, nil
+}
+
+// writeKey issues POST /insert or /delete.
+func (c *client) writeKey(key uint64, del bool) error {
+	ep := "/insert"
+	if del {
+		ep = "/delete"
+	}
+	resp, err := c.http.Post(fmt.Sprintf("%s%s?key=%d", c.addr, ep, key), "", nil)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// runScenario drives one sweep cell: `workers` goroutines claim positions of
+// the scenario's deterministic schedule and issue them against the server
+// until the wall-clock deadline.
+func runScenario(c *client, spec string, keys []uint64, seed uint64, workers int, rate float64, duration time.Duration) (loadResult, error) {
+	sc, err := workload.NewScenario(spec, keys, seed)
+	if err != nil {
+		return loadResult{}, err
+	}
+	// Per-worker interarrival: `workers` senders collectively hit `rate`
+	// ops/sec. rate 0 selects a closed loop (send as fast as answers come
+	// back; latency is then pure service time).
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(workers) / rate * float64(time.Second))
+	}
+
+	states := make([]*workerState, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(duration)
+	for w := 0; w < workers; w++ {
+		st := &workerState{hist: telemetry.NewLogHistogram()}
+		states[w] = st
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stagger workers 1/rate apart so the aggregate arrival process
+			// is evenly spaced, not `workers` simultaneous bursts.
+			next := start
+			if interval > 0 {
+				next = start.Add(time.Duration(w) * interval / time.Duration(workers))
+			}
+			readOnly := sc.ReadOnly()
+			for {
+				intended := time.Now()
+				if interval > 0 {
+					intended = next
+					next = next.Add(interval)
+					if sleep := time.Until(intended); sleep > 0 {
+						time.Sleep(sleep)
+					}
+				}
+				if intended.After(deadline) {
+					return
+				}
+				op := sc.Next()
+				switch op.Kind {
+				case workload.OpRead:
+					st.reads++
+					member, err := c.readKey(op.Key)
+					switch {
+					case err != nil:
+						st.errors++
+					case !member && readOnly:
+						st.errors++ // scheduled keys are members; a false read is a lost key
+					case !member:
+						st.misses++
+					}
+				default:
+					st.writes++
+					if err := c.writeKey(op.Key, op.Kind == workload.OpDelete); err != nil {
+						st.errors++
+					}
+				}
+				st.hist.Observe(uint64(time.Since(intended).Nanoseconds()))
+				if time.Now().After(deadline) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := loadResult{
+		Scenario:    spec,
+		Workers:     workers,
+		TargetRate:  rate,
+		DurationSec: duration.Seconds(),
+	}
+	snaps := make([]telemetry.HistogramSnapshot, workers)
+	for w, st := range states {
+		snaps[w] = st.hist.Snapshot()
+		res.Reads += st.reads
+		res.Writes += st.writes
+		res.Errors += st.errors
+		res.Misses += st.misses
+	}
+	merged := telemetry.MergeHistogramSnapshots(snaps...)
+	res.Ops = merged.Count
+	res.OpsPerSec = float64(merged.Count) / elapsed.Seconds()
+	res.LatencyP50Ns = merged.P50
+	res.LatencyP99Ns = merged.P99
+	res.LatencyP999Ns = merged.P999
+	res.LatencyMaxNs = merged.Max
+	res.LatencyMeanNs = merged.Mean
+	return res, nil
+}
+
+// repairMembership re-inserts every member key after a mutating scenario, so
+// a later read-only scenario (whose error accounting assumes full
+// membership) starts from the state the server booted with.
+func repairMembership(c *client, keys []uint64) error {
+	for _, k := range keys {
+		if err := c.writeKey(k, false); err != nil {
+			return fmt.Errorf("repair insert %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func parseScenarios(s string) ([]string, error) {
+	if s == "all" {
+		return workload.ScenarioNames(), nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty scenario in list %q", s)
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil || v < 1 {
+			return nil, fmt.Errorf("bad worker list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8090", "lcds-server base URL")
+	scenarios := flag.String("scenarios", "all", "comma-separated scenario specs, or \"all\" for every registered scenario")
+	n := flag.Int("n", 8192, "member key count — must match the server's -n")
+	seed := flag.Uint64("seed", 1, "schedule seed — must match the server's -seed for the derived key set to agree")
+	rate := flag.Float64("rate", 5000, "target aggregate ops/sec (0 = closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "wall-clock length of each sweep cell")
+	workersList := flag.String("workers", "2", "comma-separated worker counts to sweep")
+	out := flag.String("out", "", "output JSON path (default BENCH_LOAD_<date>.json)")
+	flag.Parse()
+
+	specs, err := parseScenarios(*scenarios)
+	if err != nil {
+		fatal(err)
+	}
+	workerCounts, err := parseWorkers(*workersList)
+	if err != nil {
+		fatal(err)
+	}
+	keys := workload.MemberKeys(*n, *seed)
+	maxWorkers := 0
+	for _, w := range workerCounts {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+	c := &client{
+		addr: strings.TrimRight(*addr, "/"),
+		http: &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        maxWorkers,
+				MaxIdleConnsPerHost: maxWorkers,
+			},
+		},
+	}
+	// Fail fast if the server is not there or was built over a different
+	// key universe.
+	if _, err := c.readKey(keys[0]); err != nil {
+		fatal(fmt.Errorf("server not reachable at %s: %w", c.addr, err))
+	}
+
+	rep := loadReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Addr:       c.addr,
+		N:          *n,
+		Seed:       *seed,
+	}
+	for _, spec := range specs {
+		for _, w := range workerCounts {
+			res, err := runScenario(c, spec, keys, *seed, w, *rate, *duration)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("%-20s workers=%-3d %9.0f ops/s  p50=%-8d p99=%-8d p999=%-8d errors=%d\n",
+				spec, w, res.OpsPerSec, res.LatencyP50Ns, res.LatencyP99Ns, res.LatencyP999Ns, res.Errors)
+			if res.Writes > 0 {
+				if err := repairMembership(c, keys); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_LOAD_" + rep.Date + ".json"
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(rep.Results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcds-loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestLoadReportSchema is the golden-schema test: the committed BENCH_LOAD
+// JSON has exactly these fields, and adding, renaming or dropping one is a
+// deliberate act that must update this list.
+func TestLoadReportSchema(t *testing.T) {
+	rep := loadReport{
+		Date: "2026-01-01", GoVersion: "go", GOMAXPROCS: 1, Addr: "a", N: 1, Seed: 1,
+		Results: []loadResult{{Scenario: "uniform", Workers: 1, TargetRate: 1,
+			DurationSec: 1, Ops: 1, Reads: 1, OpsPerSec: 1}},
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &top); err != nil {
+		t.Fatal(err)
+	}
+	wantTop := []string{"addr", "date", "go_version", "gomaxprocs", "n", "results", "seed"}
+	if got := sortedKeys(top); !reflect.DeepEqual(got, wantTop) {
+		t.Errorf("top-level fields %v, want %v", got, wantTop)
+	}
+	var results []map[string]json.RawMessage
+	if err := json.Unmarshal(top["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	wantRes := []string{
+		"duration_sec", "errors", "latency_max_ns", "latency_mean_ns",
+		"latency_p50_ns", "latency_p999_ns", "latency_p99_ns", "misses",
+		"ops", "ops_per_sec", "reads", "scenario", "target_rate", "workers",
+		"writes",
+	}
+	if got := sortedKeys(results[0]); !reflect.DeepEqual(got, wantRes) {
+		t.Errorf("result fields %v, want %v", got, wantRes)
+	}
+}
+
+func sortedKeys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stubServer is a minimal in-process stand-in for lcds-server's membership
+// API, so the open-loop machinery is tested without the real dictionary
+// (whose HTTP surface has its own test suite in cmd/lcds-server).
+type stubServer struct {
+	mu  sync.Mutex
+	set map[uint64]bool
+}
+
+func newStub(keys []uint64) (*stubServer, *httptest.Server) {
+	st := &stubServer{set: make(map[uint64]bool, len(keys))}
+	for _, k := range keys {
+		st.set[k] = true
+	}
+	mux := http.NewServeMux()
+	key := func(r *http.Request) uint64 {
+		k, _ := strconv.ParseUint(r.URL.Query().Get("key"), 10, 64)
+		return k
+	}
+	mux.HandleFunc("/contains", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		member := st.set[key(r)]
+		st.mu.Unlock()
+		fmt.Fprintf(w, `{"member":%v}`, member)
+	})
+	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		st.set[key(r)] = true
+		st.mu.Unlock()
+		fmt.Fprint(w, `{"inserted":true}`)
+	})
+	mux.HandleFunc("/delete", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		delete(st.set, key(r))
+		st.mu.Unlock()
+		fmt.Fprint(w, `{"deleted":true}`)
+	})
+	return st, httptest.NewServer(mux)
+}
+
+func newTestClient(ts *httptest.Server) *client {
+	return &client{addr: ts.URL, http: ts.Client()}
+}
+
+// TestOpenLoopReadScenario drives a read-only scenario against the stub and
+// checks the ledger: no errors, every op a read, a populated latency
+// distribution, and a throughput near the configured open-loop rate.
+func TestOpenLoopReadScenario(t *testing.T) {
+	keys := workload.MemberKeys(64, 5)
+	_, ts := newStub(keys)
+	defer ts.Close()
+	res, err := runScenario(newTestClient(ts), "uniform", keys, 5, 2, 2000, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Misses != 0 {
+		t.Fatalf("clean read run reported errors=%d misses=%d", res.Errors, res.Misses)
+	}
+	if res.Ops == 0 || res.Reads != res.Ops || res.Writes != 0 {
+		t.Fatalf("ledger off: %+v", res)
+	}
+	if res.LatencyP50Ns == 0 || res.LatencyP99Ns < res.LatencyP50Ns {
+		t.Fatalf("degenerate latency quantiles: p50=%d p99=%d", res.LatencyP50Ns, res.LatencyP99Ns)
+	}
+	// 2000 ops/s for 0.3 s ≈ 600 ops; allow wide slack for CI jitter but
+	// catch a closed loop (which would do far more) or a stall.
+	if res.Ops < 100 || res.Ops > 1200 {
+		t.Fatalf("open-loop pacing off: %d ops at 2000/s over 300ms", res.Ops)
+	}
+}
+
+// TestOpenLoopMutatingScenario: flood writes through to the stub, misses on
+// the churned key are counted as misses (not errors), and repairMembership
+// restores the pre-run state.
+func TestOpenLoopMutatingScenario(t *testing.T) {
+	keys := workload.MemberKeys(64, 9)
+	st, ts := newStub(keys)
+	defer ts.Close()
+	c := newTestClient(ts)
+	res, err := runScenario(c, "flood", keys, 9, 3, 3000, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("flood run reported %d errors", res.Errors)
+	}
+	if res.Writes == 0 || res.Reads+res.Writes != res.Ops {
+		t.Fatalf("ledger off: %+v", res)
+	}
+	if err := repairMembership(c, keys); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, k := range keys {
+		if !st.set[k] {
+			t.Fatalf("repair left key %d missing", k)
+		}
+	}
+}
+
+// TestClosedLoop: rate 0 issues back-to-back requests; the op count should
+// dwarf any realistic open-loop pacing at the same duration.
+func TestClosedLoop(t *testing.T) {
+	keys := workload.MemberKeys(32, 3)
+	_, ts := newStub(keys)
+	defer ts.Close()
+	res, err := runScenario(newTestClient(ts), "point", keys, 3, 2, 0, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Ops < 1000 {
+		t.Fatalf("closed loop too slow or failing: ops=%d errors=%d", res.Ops, res.Errors)
+	}
+}
+
+// TestParseLists pins the -scenarios and -workers grammars.
+func TestParseLists(t *testing.T) {
+	all, err := parseScenarios("all")
+	if err != nil || len(all) != len(workload.ScenarioNames()) {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	two, err := parseScenarios("uniform, flood")
+	if err != nil || len(two) != 2 || two[1] != "flood" {
+		t.Fatalf("list: %v %v", two, err)
+	}
+	if _, err := parseScenarios("uniform,,flood"); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	ws, err := parseWorkers("1, 2,8")
+	if err != nil || len(ws) != 3 || ws[2] != 8 {
+		t.Fatalf("workers: %v %v", ws, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "1,"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("-workers %q accepted", bad)
+		}
+	}
+}

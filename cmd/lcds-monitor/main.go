@@ -38,15 +38,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
-	"repro/internal/dist"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/workload"
 
 	lcds "repro"
@@ -102,44 +101,13 @@ type server struct {
 	drift   atomic.Pointer[driftState]
 }
 
-// parseDist resolves the -dist flag to a weighted support over the member
-// keys: "uniform", "zipf:<s>" (Zipf with exponent s over the keys in
-// generation order), or "point" (the T3 adversarial distribution — every
-// query hits the first key).
-func parseDist(name string, keys []uint64) ([]dist.Weighted, error) {
-	switch {
-	case name == "uniform":
-		return dist.NewUniformSet(keys, "").Support(), nil
-	case strings.HasPrefix(name, "zipf:"):
-		s, err := strconv.ParseFloat(strings.TrimPrefix(name, "zipf:"), 64)
-		if err != nil || s < 0 {
-			return nil, fmt.Errorf("bad zipf exponent in -dist %q", name)
-		}
-		return dist.NewZipf(keys, s).Support(), nil
-	case name == "point":
-		return dist.PointMass{Key: keys[0]}.Support(), nil
-	}
-	return nil, fmt.Errorf("unknown -dist %q (want uniform, zipf:<s>, point, or rotating:<hot>:<window>)", name)
-}
+// scenarioKeys adapts a workload scenario to the monitor's read-only drive:
+// the monitor issues Contains for every scheduled key, ignoring op kinds
+// (mutating scenarios like auction/flood drive the same key schedule but
+// the churn itself comes from -churn / the selfcheck, not the drive).
+type scenarioKeys struct{ s *workload.Scenario }
 
-// parseRotating resolves "rotating:<hot>:<window>" to a RotatingHotSet over
-// the member keys (hot keys carry 90% of the traffic, rotating every window
-// queries), or returns (nil, nil) when name is not a rotating spec.
-func parseRotating(name string, keys []uint64, seed uint64) (*workload.RotatingHotSet, error) {
-	if !strings.HasPrefix(name, "rotating:") {
-		return nil, nil
-	}
-	parts := strings.Split(strings.TrimPrefix(name, "rotating:"), ":")
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("bad -dist %q (want rotating:<hot>:<window>)", name)
-	}
-	hot, err1 := strconv.Atoi(parts[0])
-	window, err2 := strconv.Atoi(parts[1])
-	if err1 != nil || err2 != nil {
-		return nil, fmt.Errorf("bad -dist %q (want rotating:<hot>:<window>)", name)
-	}
-	return workload.NewRotatingHotSet(keys, hot, window, 0.9, seed^0xd157)
-}
+func (d scenarioKeys) Next() uint64 { return d.s.Next().Key }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -151,7 +119,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "construction seed")
 	sample := flag.Int("sample", 1, "probe sampling rate: count 1 in k probes (rounded to a power of two)")
 	adaptive := flag.Float64("adaptive", 0, "self-tune the sampling factor toward this recorded-probe rate per second (0 = fixed -sample)")
-	distName := flag.String("dist", "uniform", "query distribution: uniform, zipf:<s>, point, or rotating:<hot>:<window>")
+	distName := flag.String("dist", "uniform", "workload scenario driving the queries: uniform, zipf:<s>, point, rotating:<hot>:<window>, auction, flood")
 	traceEvery := flag.Int("trace-every", 1024, "capture a full probe trace for 1 in k queries (0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 256, "trace ring-buffer capacity")
 	topK := flag.Int("topk", 10, "hottest cells to report")
@@ -180,25 +148,16 @@ func main() {
 	}
 
 	srv := &server{keys: keys, absorb: *absorb}
-	if rot, err := parseRotating(*distName, keys, *seed); err != nil {
+	sc, err := workload.NewScenario(*distName, keys, *seed)
+	if err != nil {
 		fatal(err)
-	} else if rot != nil {
-		// No stationary distribution: drive the rotation, skip the exact-Φ
-		// comparison (srv.support stays nil).
-		srv.drive = rot
-	} else {
-		support, err := parseDist(*distName, keys)
-		if err != nil {
-			fatal(err)
-		}
-		drive, err := workload.NewWeightedDrive(support, len(keys), *seed^0xd157)
-		if err != nil {
-			fatal(err)
-		}
-		srv.drive = drive
-		for _, w := range drive.Realized() {
-			srv.support = append(srv.support, lcds.WeightedKey{Key: w.Key, P: w.P})
-		}
+	}
+	srv.drive = scenarioKeys{sc}
+	// Scenarios with a stationary distribution expose their exact realized
+	// support; the exact-Φ drift runs under it. Support() is nil for
+	// rotating/mutating schedules, which disables the comparison.
+	for _, w := range sc.Support() {
+		srv.support = append(srv.support, lcds.WeightedKey{Key: w.Key, P: w.P})
 	}
 	if *dynamic {
 		if *absorb {
@@ -279,19 +238,11 @@ func main() {
 	}
 }
 
-// genKeys draws n distinct member keys deterministically from seed.
+// genKeys draws n distinct member keys deterministically from seed — the
+// shared (n, seed) key convention of workload.MemberKeys, so a monitor and
+// an lcds-server started with the same parameters hold the same set.
 func genKeys(n int, seed uint64) []uint64 {
-	r := rng.New(seed)
-	seen := make(map[uint64]bool, n)
-	keys := make([]uint64, 0, n)
-	for len(keys) < n {
-		k := r.Uint64n(lcds.MaxKey)
-		if !seen[k] {
-			seen[k] = true
-			keys = append(keys, k)
-		}
-	}
-	return keys
+	return workload.MemberKeys(n, seed)
 }
 
 // driveLoop issues queries from the shared weighted schedule (workers claim
@@ -430,46 +381,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetrics(w, tel.Snapshot(), s.drift.Load(), tel.Sample())
 }
 
-// timelineReport is the /debug/timeline response body.
-type timelineReport struct {
-	Events []lcds.Event `json:"events"`
-	// NextCursor is the value to pass as ?since= to read only newer events.
-	NextCursor uint64 `json:"next_cursor"`
-	// Dropped is the exact count of events refused on a full ring so far.
-	Dropped uint64 `json:"dropped"`
-}
+// timelineReport is the /debug/timeline response body (shared shape).
+type timelineReport = serve.TimelineReport
 
-// handleTimeline serves the flight recorder with since-cursor pagination:
-// ?since=<cursor> returns only events newer than the cursor (0 = from the
-// oldest retained), ?max=<n> caps the page size (default 256, cap 4096).
+// handleTimeline serves the flight recorder through the shared handler:
+// since-cursor pagination, 400 on malformed parameters.
 func (s *server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	since, err := strconv.ParseUint(q.Get("since"), 10, 64)
-	if err != nil && q.Get("since") != "" {
-		http.Error(w, "bad since cursor", http.StatusBadRequest)
-		return
-	}
-	max := 256
-	if v := q.Get("max"); v != "" {
-		m, err := strconv.Atoi(v)
-		if err != nil || m <= 0 {
-			http.Error(w, "bad max", http.StatusBadRequest)
-			return
-		}
-		max = m
-	}
-	if max > 4096 {
-		max = 4096
-	}
-	evs, next := s.d.Timeline(since, max)
-	if evs == nil {
-		evs = []lcds.Event{}
-	}
-	rep := timelineReport{Events: evs, NextCursor: next, Dropped: s.d.EventLog().Dropped()}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(rep)
+	serve.TimelineHandler(s.d)(w, r)
 }
 
 // telemetryReport is the /debug/telemetry response body.

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/workload"
 
 	lcds "repro"
@@ -189,28 +190,30 @@ func TestTimelineEndpoint(t *testing.T) {
 	}
 }
 
-// TestParseDist pins the -dist flag grammar and the resulting supports.
-func TestParseDist(t *testing.T) {
+// TestScenarioDrive pins the -dist wiring through the scenario registry:
+// stationary scenarios expose the support the drift runs under, rotating
+// and mutating scenarios disable it, and unknown specs are rejected — the
+// grammar itself is pinned in internal/workload.
+func TestScenarioDrive(t *testing.T) {
 	keys := genKeys(64, 3)
-	uni, err := parseDist("uniform", keys)
-	if err != nil || len(uni) != len(keys) {
-		t.Fatalf("uniform: %v (%d weights)", err, len(uni))
+	uni, err := workload.NewScenario("uniform", keys, 3)
+	if err != nil || len(uni.Support()) != len(keys) {
+		t.Fatalf("uniform: %v (%d weights)", err, len(uni.Support()))
 	}
-	z, err := parseDist("zipf:1.2", keys)
-	if err != nil || len(z) != len(keys) {
-		t.Fatalf("zipf:1.2: %v", err)
+	drive := scenarioKeys{uni}
+	seen := map[uint64]bool{}
+	for i := 0; i < len(keys); i++ {
+		seen[drive.Next()] = true
 	}
-	if z[0].P <= z[len(z)-1].P {
-		t.Fatalf("zipf support not skewed: head %v tail %v", z[0].P, z[len(z)-1].P)
+	if len(seen) != len(keys) {
+		t.Fatalf("uniform pass visited %d of %d keys", len(seen), len(keys))
 	}
-	p, err := parseDist("point", keys)
-	if err != nil || len(p) != 1 || p[0].Key != keys[0] || p[0].P != 1 {
-		t.Fatalf("point: %v %v", err, p)
+	rot, err := workload.NewScenario("rotating:4:512", keys, 3)
+	if err != nil || rot.Support() != nil {
+		t.Fatalf("rotating: err=%v support=%v", err, rot.Support())
 	}
-	for _, bad := range []string{"zipf", "zipf:x", "zipf:-1", "hot", ""} {
-		if _, err := parseDist(bad, keys); err == nil {
-			t.Errorf("-dist %q accepted", bad)
-		}
+	if _, err := workload.NewScenario("hot", keys, 3); err == nil {
+		t.Error("-dist \"hot\" accepted")
 	}
 }
 
@@ -220,10 +223,7 @@ func TestParseDist(t *testing.T) {
 func TestWeightedDriftExposition(t *testing.T) {
 	const n, passes = 1024, 16
 	s := newTestServer(t, n)
-	support, err := parseDist("zipf:1.2", s.keys)
-	if err != nil {
-		t.Fatal(err)
-	}
+	support := dist.NewZipf(s.keys, 1.2).Support()
 	drive, err := workload.NewWeightedDrive(support, n, 7^0xd157)
 	if err != nil {
 		t.Fatal(err)
@@ -285,23 +285,6 @@ func TestAdaptiveExposition(t *testing.T) {
 	}
 	if !strings.Contains(body, "lcds_sampling_adaptive 1") {
 		t.Error("lcds_sampling_adaptive gauge not set")
-	}
-}
-
-// TestParseRotating pins the rotating:<hot>:<window> grammar.
-func TestParseRotating(t *testing.T) {
-	keys := genKeys(64, 5)
-	rot, err := parseRotating("rotating:4:512", keys, 5)
-	if err != nil || rot == nil {
-		t.Fatalf("rotating:4:512: %v %v", rot, err)
-	}
-	if rot, err := parseRotating("zipf:1.2", keys, 5); rot != nil || err != nil {
-		t.Fatalf("non-rotating spec should pass through, got %v %v", rot, err)
-	}
-	for _, bad := range []string{"rotating:", "rotating:4", "rotating:x:512", "rotating:4:x", "rotating:0:512", "rotating:4:0"} {
-		if _, err := parseRotating(bad, keys, 5); err == nil {
-			t.Errorf("-dist %q accepted", bad)
-		}
 	}
 }
 

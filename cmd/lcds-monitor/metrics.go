@@ -1,164 +1,29 @@
 package main
 
 import (
-	"fmt"
 	"io"
+
+	"repro/internal/serve"
 
 	lcds "repro"
 )
 
-// RequiredMetrics is the stable exposition contract: every name must appear
-// in /metrics output regardless of configuration. CI's smoke job and
-// -selfcheck both assert against this list.
-var RequiredMetrics = []string{
-	"lcds_queries_total",
-	"lcds_hits_total",
-	"lcds_misses_total",
-	"lcds_errors_total",
-	"lcds_probes_total",
-	"lcds_probes_per_query",
-	"lcds_max_phi",
-	"lcds_max_phi_n",
-	"lcds_step_mass",
-	"lcds_sample",
-	"lcds_sampling_k",
-	"lcds_cells",
-	"lcds_keys",
-	"lcds_uptime_seconds",
-	"lcds_latency_ns",
-	"lcds_batch_latency_ns",
-	"lcds_events_total",
-	"lcds_events_dropped_total",
-	"lcds_absorbed_writes_total",
-	"lcds_phase_seals_total",
-	"lcds_phase_absorbed_total",
-	"lcds_phase_hot_keys",
-	"lcds_phase_split",
-}
+// RequiredMetrics is the stable exposition contract, shared with
+// lcds-server through internal/serve. CI's smoke job and -selfcheck both
+// assert against this list.
+var RequiredMetrics = serve.RequiredMetrics
 
-// writeMetrics renders a telemetry snapshot in the Prometheus text
-// exposition format (version 0.0.4), with no client library: the snapshot
-// is already a consistent point-in-time read, so exposition is pure
-// formatting. samplingK is the sampling factor read atomically at scrape
-// time (Telemetry.Sample), not the snapshot's copy: an adaptive controller
-// retunes between AdaptTick and the scrape, and the gauge must report the
-// factor in force now.
-func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, drift *driftState, samplingK int) {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-
-	counter("lcds_queries_total", "Queries observed by the telemetry layer.", s.Queries)
-	counter("lcds_hits_total", "Queries answered true.", s.Hits)
-	counter("lcds_misses_total", "Queries answered false.", s.Misses)
-	counter("lcds_errors_total", "Queries that returned an error.", s.Errors)
-	counter("lcds_probes_total", "Cell probes (sampled counts scaled by lcds_sample).", s.Probes)
-	gauge("lcds_probes_per_query", "Mean probes per query.", s.ProbesPerQuery)
-	gauge("lcds_max_phi", "Empirical per-cell contention max_j phi(j) (Definition 1).", s.MaxPhi)
-	gauge("lcds_max_phi_n", "max_j phi(j) * n, the paper's absolute contention headline.", s.MaxPhiN)
-	gauge("lcds_max_phi_cell", "Flat index of the hottest cell.", float64(s.MaxPhiCell))
-	gauge("lcds_sample", "Probe sampling rate (1 = every probe counted).", float64(s.Sample))
-	gauge("lcds_sampling_k", "Sampling factor k currently in force (controller-tuned when lcds_sampling_adaptive is 1).", float64(samplingK))
-	adaptiveVal := 0.0
-	if s.Adaptive {
-		adaptiveVal = 1
-	}
-	gauge("lcds_sampling_adaptive", "1 when the sampling factor is tuned by the adaptive controller.", adaptiveVal)
-	gauge("lcds_cells", "Cell-probe table size s.", float64(s.Cells))
-	gauge("lcds_keys", "Member key count n.", float64(s.N))
-	gauge("lcds_uptime_seconds", "Seconds since telemetry was attached.", s.UptimeSeconds)
-
-	fmt.Fprintf(w, "# HELP lcds_step_mass Probability a query executes probe step t.\n# TYPE lcds_step_mass gauge\n")
-	for t, m := range s.StepMass {
-		fmt.Fprintf(w, "lcds_step_mass{step=\"%d\"} %g\n", t, m)
-	}
-
-	for _, h := range s.TopCells {
-		fmt.Fprintf(w, "lcds_hot_cell_phi{cell=\"%d\"} %g\n", h.Cell, h.Phi)
-	}
-	for _, r := range s.Ranges {
-		fmt.Fprintf(w, "lcds_range_probes_total{range=%q} %d\n", r.Name, r.Probes)
-		fmt.Fprintf(w, "lcds_range_share{range=%q} %g\n", r.Name, r.Share)
-		fmt.Fprintf(w, "lcds_range_max_phi{range=%q} %g\n", r.Name, r.MaxPhi)
-	}
-
-	summary("lcds_latency_ns", "Contains latency in nanoseconds (log2 buckets; quantiles are bucket upper bounds).", w, s.Latency)
-	summary("lcds_batch_latency_ns", "ContainsBatch latency in nanoseconds per batch.", w, s.BatchLatency)
-
-	// Flight-recorder series: one counter per event type (all types always
-	// present, zero included, so dashboards never see a series appear late)
-	// plus the exact overflow-drop counter.
-	fmt.Fprintf(w, "# HELP lcds_events_total Flight-recorder events recorded, by type.\n# TYPE lcds_events_total counter\n")
-	for ty := lcds.EventEpochSealed; ty <= lcds.EventOverflowDropped; ty++ {
-		fmt.Fprintf(w, "lcds_events_total{type=%q} %d\n", ty.String(), s.Events.ByType[ty.String()])
-	}
-	counter("lcds_events_dropped_total", "Flight-recorder emissions refused on a full ring (counted exactly).", s.Events.Dropped)
-
-	// Two-phase write-absorption series. The headers are unconditional so the
-	// RequiredMetrics contract holds in every configuration; the labeled
-	// samples only exist in dynamic mode (one per shard), like the rebuild
-	// series below.
-	header := func(name, help, typ string) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	}
-	header("lcds_absorbed_writes_total", "Writes soaked wait-free by split-phase hot-key overlays.", "counter")
-	header("lcds_phase_seals_total", "Write-absorption phase boundaries sealed by epoch rebuilds.", "counter")
-	header("lcds_phase_absorbed_total", "Absorbed operations reconciled into snapshots at phase seals.", "counter")
-	header("lcds_phase_hot_keys", "Hot keys absorbed by the current phase's overlay.", "gauge")
-	header("lcds_phase_split", "1 while the shard runs a split phase (non-empty hot set).", "gauge")
-
-	for _, d := range s.Dynamic {
-		sh := fmt.Sprintf("{shard=\"%d\"}", d.Shard)
-		split := 0
-		if d.SplitPhase {
-			split = 1
+// writeMetrics renders the snapshot through the shared exposition,
+// converting the monitor's drift state (which also carries compute-time
+// metadata for /debug/telemetry) into the exposition's gauge block.
+func writeMetrics(w io.Writer, s lcds.TelemetrySnapshot, st *driftState, samplingK int) {
+	var dr *serve.Drift
+	if st != nil {
+		dr = &serve.Drift{
+			MaxPhiRatio:     st.Drift.MaxPhiRatio,
+			ProbesRatio:     st.Drift.ProbesRatio,
+			StepMassMaxDiff: st.Drift.StepMassMaxDiff,
 		}
-		fmt.Fprintf(w, "lcds_absorbed_writes_total%s %d\n", sh, d.AbsorbedWrites)
-		fmt.Fprintf(w, "lcds_phase_seals_total%s %d\n", sh, d.PhaseSeals)
-		fmt.Fprintf(w, "lcds_phase_absorbed_total%s %d\n", sh, d.PhaseAbsorbed)
-		fmt.Fprintf(w, "lcds_phase_hot_keys%s %d\n", sh, d.PhaseHotKeys)
-		fmt.Fprintf(w, "lcds_phase_split%s %d\n", sh, split)
-		fmt.Fprintf(w, "lcds_rebuilds_total%s %d\n", sh, d.Rebuilds)
-		fmt.Fprintf(w, "lcds_rebuild_keys_total%s %d\n", sh, d.RebuildKeys)
-		fmt.Fprintf(w, "lcds_rebuild_failures_total%s %d\n", sh, d.RebuildFails)
-		fmt.Fprintf(w, "lcds_delta_depth%s %d\n", sh, d.DeltaDepth)
-		fmt.Fprintf(w, "lcds_delta_high_water%s %d\n", sh, d.DeltaHighWater)
-		fmt.Fprintf(w, "lcds_claim_probes_total%s %d\n", sh, d.ClaimProbes)
-		fmt.Fprintf(w, "lcds_cas_retries_total%s %d\n", sh, d.CASRetries)
-		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.5"), d.RebuildNs.P50)
-		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.99"), d.RebuildNs.P99)
-		fmt.Fprintf(w, "lcds_rebuild_ns%s %d\n", labels(d.Shard, "0.999"), d.RebuildNs.P999)
-		fmt.Fprintf(w, "lcds_rebuild_ns_sum%s %d\n", sh, d.RebuildNs.Sum)
-		fmt.Fprintf(w, "lcds_rebuild_ns_count%s %d\n", sh, d.RebuildNs.Count)
-		fmt.Fprintf(w, "lcds_writer_pause_ns%s %d\n", labels(d.Shard, "0.5"), d.WriterPauseNs.P50)
-		fmt.Fprintf(w, "lcds_writer_pause_ns%s %d\n", labels(d.Shard, "0.99"), d.WriterPauseNs.P99)
-		fmt.Fprintf(w, "lcds_writer_pause_ns%s %d\n", labels(d.Shard, "0.999"), d.WriterPauseNs.P999)
-		fmt.Fprintf(w, "lcds_writer_pause_ns_sum%s %d\n", sh, d.WriterPauseNs.Sum)
-		fmt.Fprintf(w, "lcds_writer_pause_ns_count%s %d\n", sh, d.WriterPauseNs.Count)
 	}
-
-	if drift != nil {
-		gauge("lcds_max_phi_ratio_vs_exact", "Live maxPhi divided by contention.Exact's maxPhi (1.0 = perfect agreement).", drift.Drift.MaxPhiRatio)
-		gauge("lcds_probes_ratio_vs_exact", "Live probes/query divided by the exact expectation.", drift.Drift.ProbesRatio)
-		gauge("lcds_step_mass_max_diff_vs_exact", "L-infinity gap between live and exact per-step probe mass.", drift.Drift.StepMassMaxDiff)
-	}
-}
-
-// summary renders a LogHistogram snapshot as a Prometheus summary. The
-// quantiles are log2-bucket upper bounds, which is what a 65-bucket
-// power-of-two histogram can honestly claim.
-func summary(name, help string, w io.Writer, h lcds.TelemetryHistogram) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
-	fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", name, h.P50)
-	fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", name, h.P99)
-	fmt.Fprintf(w, "%s{quantile=\"0.999\"} %d\n", name, h.P999)
-	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
-}
-
-func labels(shard int, quantile string) string {
-	return fmt.Sprintf("{shard=\"%d\",quantile=%q}", shard, quantile)
+	serve.WriteMetrics(w, s, dr, samplingK)
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+// fuzzMux builds one server shared by all fuzz executions — the dictionary
+// is concurrency-safe and rebuilding it per input would dominate the fuzz
+// loop.
+var fuzzMux = sync.OnceValue(func() *http.ServeMux {
+	_, mux, err := newServer(256, 29, 1, 0.1, false, 1)
+	if err != nil {
+		panic(err)
+	}
+	return mux
+})
+
+// FuzzContainsParam: an arbitrary ?key= value must answer 200 or 400 —
+// never a panic, never a 5xx. CI's fuzz-smoke step runs this
+// coverage-guided on every push.
+func FuzzContainsParam(f *testing.F) {
+	f.Add("1")
+	f.Add("")
+	f.Add("-1")
+	f.Add("2305843009213693950")
+	f.Add("2305843009213693951")
+	f.Add("18446744073709551615")
+	f.Add("0x10")
+	f.Add("١٢٣")
+	f.Fuzz(func(t *testing.T, key string) {
+		q := url.Values{}
+		q.Set("key", key)
+		rec := httptest.NewRecorder()
+		fuzzMux().ServeHTTP(rec, httptest.NewRequest("GET", "/contains?"+q.Encode(), nil))
+		if rec.Code != 200 && rec.Code != 400 {
+			t.Fatalf("key %q answered %d", key, rec.Code)
+		}
+	})
+}
+
+// FuzzBatchBody: an arbitrary POST /batch body must answer 200 or 400 —
+// malformed JSON, wrong shapes, out-of-universe keys and oversized batches
+// are all client errors, never panics.
+func FuzzBatchBody(f *testing.F) {
+	f.Add([]byte(`{"keys":[1,2,3]}`))
+	f.Add([]byte(`{"keys":[]}`))
+	f.Add([]byte(`{"keys":[18446744073709551615]}`))
+	f.Add([]byte(`{"keys":"no"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2]`))
+	f.Add([]byte(`{"keys":[1],"x":2}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := httptest.NewRecorder()
+		fuzzMux().ServeHTTP(rec, httptest.NewRequest("POST", "/batch", bytes.NewReader(body)))
+		if rec.Code != 200 && rec.Code != 400 {
+			t.Fatalf("body %q answered %d", body, rec.Code)
+		}
+	})
+}

@@ -1,0 +1,337 @@
+// Command lcds-server serves a dynamic low-contention dictionary over a
+// small HTTP membership API: GET /contains, POST /batch, POST /insert,
+// POST /delete. The observability surface — /metrics, /debug/telemetry,
+// /debug/timeline, /debug/pprof — is byte-compatible with lcds-monitor
+// because both render through internal/serve; on top of it the server adds
+// per-endpoint HTTP request counters and latency summaries so an open-loop
+// load generator (cmd/lcds-loadgen) can be cross-checked against the
+// server's own view of the traffic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	lcds "repro"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// batchLimit caps the number of keys a single POST /batch may carry; the
+// request body size cap is derived from it (a uint64 key needs at most 20
+// decimal digits plus JSON punctuation).
+const (
+	batchLimit     = 4096
+	batchBodyLimit = 32 * batchLimit
+)
+
+// endpointStats is one handler's request ledger: total requests, requests
+// answered with a 4xx/5xx, and a log₂ latency histogram. The histogram is
+// the same striped structure the dictionary's telemetry uses, so scraping
+// it costs the handlers nothing.
+type endpointStats struct {
+	name     string
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	lat      *telemetry.LogHistogram
+}
+
+type server struct {
+	dd *lcds.DynamicDict
+
+	n       int
+	seed    uint64
+	shards  int
+	epsilon float64
+	absorb  bool
+
+	stats []*endpointStats
+}
+
+func newEndpointStats(name string) *endpointStats {
+	return &endpointStats{name: name, lat: telemetry.NewLogHistogram()}
+}
+
+// instrument wraps a handler that returns its HTTP status. Every request is
+// counted and timed; statuses ≥ 400 also count as errors.
+func (s *server) instrument(st *endpointStats, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := h(w, r)
+		st.lat.Observe(uint64(time.Since(start).Nanoseconds()))
+		st.requests.Add(1)
+		if code >= 400 {
+			st.errors.Add(1)
+		}
+	}
+}
+
+// parseKey validates a ?key= parameter: a decimal uint64 strictly below
+// lcds.MaxKey, the dictionary's key-universe bound.
+func parseKey(raw string) (uint64, error) {
+	k, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key: want a decimal uint64")
+	}
+	if k >= lcds.MaxKey {
+		return 0, fmt.Errorf("bad key: %d is outside the key universe [0, 2^61-1)", k)
+	}
+	return k, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleContains(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return http.StatusMethodNotAllowed
+	}
+	key, err := parseKey(r.URL.Query().Get("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	member, err := s.dd.Contains(key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
+	writeJSON(w, map[string]any{"key": key, "member": member})
+	return http.StatusOK
+}
+
+type batchRequest struct {
+	Keys []uint64 `json:"keys"`
+}
+
+type batchResponse struct {
+	Members []bool `json:"members"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return http.StatusMethodNotAllowed
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, batchBodyLimit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	if len(req.Keys) == 0 {
+		http.Error(w, "bad batch: empty keys", http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	if len(req.Keys) > batchLimit {
+		http.Error(w, fmt.Sprintf("bad batch: %d keys exceeds the %d-key limit", len(req.Keys), batchLimit), http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	for _, k := range req.Keys {
+		if k >= lcds.MaxKey {
+			http.Error(w, fmt.Sprintf("bad key: %d is outside the key universe [0, 2^61-1)", k), http.StatusBadRequest)
+			return http.StatusBadRequest
+		}
+	}
+	out := make([]bool, len(req.Keys))
+	if err := s.dd.ContainsBatch(req.Keys, out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
+	writeJSON(w, batchResponse{Members: out})
+	return http.StatusOK
+}
+
+// handleWrite serves /insert and /delete, which differ only in the
+// dictionary method and the response field name.
+func (s *server) handleWrite(w http.ResponseWriter, r *http.Request, del bool) int {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return http.StatusMethodNotAllowed
+	}
+	key, err := parseKey(r.URL.Query().Get("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return http.StatusBadRequest
+	}
+	var changed bool
+	if del {
+		changed, err = s.dd.Delete(key)
+	} else {
+		changed, err = s.dd.Insert(key)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
+	field := "inserted"
+	if del {
+		field = "deleted"
+	}
+	writeJSON(w, map[string]any{"key": key, field: changed})
+	return http.StatusOK
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	serve.WriteMetrics(w, s.dd.Telemetry().Snapshot(), nil, s.dd.Telemetry().Sample())
+	s.writeHTTPMetrics(w)
+}
+
+// writeHTTPMetrics renders the server-level request ledger: per-handler
+// request and error counters plus a per-handler latency summary, with an
+// "all" aggregate merged bucket-wise from the per-handler snapshots — the
+// same merge an open-loop load generator applies to its workers.
+func (s *server) writeHTTPMetrics(w http.ResponseWriter) {
+	fmt.Fprint(w, "# HELP lcds_http_requests_total HTTP requests served, by handler.\n# TYPE lcds_http_requests_total counter\n")
+	for _, st := range s.stats {
+		fmt.Fprintf(w, "lcds_http_requests_total{handler=%q} %d\n", st.name, st.requests.Load())
+	}
+	fmt.Fprint(w, "# HELP lcds_http_errors_total HTTP requests answered 4xx/5xx, by handler.\n# TYPE lcds_http_errors_total counter\n")
+	for _, st := range s.stats {
+		fmt.Fprintf(w, "lcds_http_errors_total{handler=%q} %d\n", st.name, st.errors.Load())
+	}
+	fmt.Fprint(w, "# HELP lcds_http_request_ns Request latency in nanoseconds, by handler (log2 buckets; quantiles are bucket upper bounds).\n# TYPE lcds_http_request_ns summary\n")
+	snaps := make([]telemetry.HistogramSnapshot, 0, len(s.stats))
+	emit := func(name string, h telemetry.HistogramSnapshot) {
+		fmt.Fprintf(w, "lcds_http_request_ns{handler=%q,quantile=\"0.5\"} %d\n", name, h.P50)
+		fmt.Fprintf(w, "lcds_http_request_ns{handler=%q,quantile=\"0.99\"} %d\n", name, h.P99)
+		fmt.Fprintf(w, "lcds_http_request_ns{handler=%q,quantile=\"0.999\"} %d\n", name, h.P999)
+		fmt.Fprintf(w, "lcds_http_request_ns_sum{handler=%q} %d\n", name, h.Sum)
+		fmt.Fprintf(w, "lcds_http_request_ns_count{handler=%q} %d\n", name, h.Count)
+	}
+	for _, st := range s.stats {
+		snap := st.lat.Snapshot()
+		snaps = append(snaps, snap)
+		emit(st.name, snap)
+	}
+	emit("all", telemetry.MergeHistogramSnapshots(snaps...))
+}
+
+func (s *server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.dd.Telemetry().Snapshot())
+}
+
+func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"n":       s.n,
+		"seed":    s.seed,
+		"shards":  s.shards,
+		"epsilon": s.epsilon,
+		"absorb":  s.absorb,
+	})
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "lcds-server\n\n"+
+		"GET  /contains?key=<k>  membership query\n"+
+		"POST /batch             {\"keys\":[...]} -> {\"members\":[...]} (<= 4096 keys)\n"+
+		"POST /insert?key=<k>    insert\n"+
+		"POST /delete?key=<k>    delete\n"+
+		"GET  /info              construction parameters\n"+
+		"GET  /healthz           liveness\n"+
+		"/metrics                Prometheus text exposition (+ per-handler HTTP series)\n"+
+		"/debug/telemetry        JSON telemetry snapshot\n"+
+		"/debug/timeline         flight-recorder timeline (?since=<cursor>&max=<n>)\n"+
+		"/debug/pprof/           runtime profiles\n")
+}
+
+// newServer builds the dictionary and the handler mux; split from main so
+// tests and fuzz targets drive the exact production wiring.
+func newServer(n int, seed uint64, shards int, epsilon float64, absorb bool, sample int) (*server, *http.ServeMux, error) {
+	keys := workload.MemberKeys(n, seed)
+	opts := []lcds.Option{
+		lcds.WithSeed(seed),
+		lcds.WithTelemetry(lcds.TelemetryConfig{Sample: sample, TopK: 10}),
+	}
+	if shards > 1 {
+		opts = append(opts, lcds.WithShards(shards))
+	}
+	if absorb {
+		opts = append(opts, lcds.WithWriteAbsorption())
+	}
+	dd, err := lcds.NewDynamic(keys, epsilon, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &server{dd: dd, n: n, seed: seed, shards: shards, epsilon: epsilon, absorb: absorb}
+
+	contains := newEndpointStats("contains")
+	batch := newEndpointStats("batch")
+	insert := newEndpointStats("insert")
+	del := newEndpointStats("delete")
+	s.stats = []*endpointStats{contains, batch, insert, del}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/contains", s.instrument(contains, s.handleContains))
+	mux.HandleFunc("/batch", s.instrument(batch, s.handleBatch))
+	mux.HandleFunc("/insert", s.instrument(insert, func(w http.ResponseWriter, r *http.Request) int {
+		return s.handleWrite(w, r, false)
+	}))
+	mux.HandleFunc("/delete", s.instrument(del, func(w http.ResponseWriter, r *http.Request) int {
+		return s.handleWrite(w, r, true)
+	}))
+	mux.HandleFunc("/info", s.handleInfo)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/telemetry", s.handleTelemetry)
+	mux.HandleFunc("/debug/timeline", serve.TimelineHandler(s.dd))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s, mux, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	n := flag.Int("n", 8192, "initial member key count (keys derived deterministically from -seed)")
+	seed := flag.Uint64("seed", 1, "construction and key-derivation seed")
+	shards := flag.Int("shards", 1, "shard count (≥ 2 enables the sharded composite)")
+	epsilon := flag.Float64("epsilon", 0.1, "dynamic buffer fraction")
+	absorb := flag.Bool("absorb", false, "enable two-phase write absorption (hot keys soak into split-phase overlays)")
+	sample := flag.Int("sample", 1, "probe sampling rate: count 1 in k probes (rounded to a power of two)")
+	flag.Parse()
+
+	_, mux, err := newServer(*n, *seed, *shards, *epsilon, *absorb, *sample)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcds-server:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcds-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lcds-server: n=%d seed=%d shards=%d absorb=%v, serving http://%s/\n",
+		*n, *seed, *shards, *absorb, ln.Addr())
+	if err := http.Serve(ln, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "lcds-server:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func newTestMux(t *testing.T, n int, seed uint64) (*server, *http.ServeMux) {
+	t.Helper()
+	s, mux, err := newServer(n, seed, 1, 0.1, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mux
+}
+
+func get(mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func post(mux *http.ServeMux, path string, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", path, rd))
+	return rec
+}
+
+// TestContainsEndpoint: every member key answers {"member":true} and a
+// derived non-member answers false — the server's key set is exactly
+// workload.MemberKeys(n, seed), so clients can re-derive it.
+func TestContainsEndpoint(t *testing.T) {
+	const n, seed = 256, 7
+	_, mux := newTestMux(t, n, seed)
+	keys := workload.MemberKeys(n, seed)
+	for _, k := range keys[:32] {
+		rec := get(mux, fmt.Sprintf("/contains?key=%d", k))
+		if rec.Code != 200 {
+			t.Fatalf("key %d: status %d: %s", k, rec.Code, rec.Body)
+		}
+		var resp struct {
+			Key    uint64 `json:"key"`
+			Member bool   `json:"member"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if !resp.Member || resp.Key != k {
+			t.Fatalf("member key %d answered %+v", k, resp)
+		}
+	}
+	// MemberKeys is prefix-stable, so key n of the (n+1)-sized derivation is
+	// a fresh non-member of the n-sized set.
+	outsider := workload.MemberKeys(n+1, seed)[n]
+	var resp struct {
+		Member bool `json:"member"`
+	}
+	if err := json.Unmarshal(get(mux, fmt.Sprintf("/contains?key=%d", outsider)).Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Member {
+		t.Fatalf("non-member %d answered true", outsider)
+	}
+}
+
+// TestBatchMatchesSingles: a /batch answer must agree entry-wise with the
+// single-key endpoint over a mixed member/non-member batch.
+func TestBatchMatchesSingles(t *testing.T) {
+	const n, seed = 256, 11
+	_, mux := newTestMux(t, n, seed)
+	probe := workload.MemberKeys(2*n, seed) // first n are members, rest mostly not
+	body, _ := json.Marshal(batchRequest{Keys: probe})
+	rec := post(mux, "/batch", string(body))
+	if rec.Code != 200 {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Members) != len(probe) {
+		t.Fatalf("batch answered %d entries for %d keys", len(resp.Members), len(probe))
+	}
+	for i, k := range probe {
+		var single struct {
+			Member bool `json:"member"`
+		}
+		if err := json.Unmarshal(get(mux, fmt.Sprintf("/contains?key=%d", k)).Body.Bytes(), &single); err != nil {
+			t.Fatal(err)
+		}
+		if single.Member != resp.Members[i] {
+			t.Fatalf("key %d: batch=%v single=%v", k, resp.Members[i], single.Member)
+		}
+	}
+}
+
+// TestInsertDelete: inserting a fresh key flips membership on, deleting
+// flips it off, and the changed-bit reports idempotence.
+func TestInsertDelete(t *testing.T) {
+	const n, seed = 128, 13
+	_, mux := newTestMux(t, n, seed)
+	fresh := workload.MemberKeys(n+1, seed)[n]
+
+	member := func() bool {
+		var resp struct {
+			Member bool `json:"member"`
+		}
+		if err := json.Unmarshal(get(mux, fmt.Sprintf("/contains?key=%d", fresh)).Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Member
+	}
+	if member() {
+		t.Fatalf("fresh key %d already a member", fresh)
+	}
+	var ins struct {
+		Inserted bool `json:"inserted"`
+	}
+	if err := json.Unmarshal(post(mux, fmt.Sprintf("/insert?key=%d", fresh), "").Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if !ins.Inserted || !member() {
+		t.Fatalf("insert did not take: changed=%v member=%v", ins.Inserted, member())
+	}
+	if err := json.Unmarshal(post(mux, fmt.Sprintf("/insert?key=%d", fresh), "").Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Inserted {
+		t.Fatal("second insert of the same key reported a change")
+	}
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	if err := json.Unmarshal(post(mux, fmt.Sprintf("/delete?key=%d", fresh), "").Body.Bytes(), &del); err != nil {
+		t.Fatal(err)
+	}
+	if !del.Deleted || member() {
+		t.Fatalf("delete did not take: changed=%v member=%v", del.Deleted, member())
+	}
+}
+
+// TestBadRequests pins the 400/405 surface: malformed keys, out-of-universe
+// keys, malformed batch bodies, oversized batches, wrong methods.
+func TestBadRequests(t *testing.T) {
+	_, mux := newTestMux(t, 64, 17)
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/contains", "", 400},
+		{"GET", "/contains?key=x", "", 400},
+		{"GET", "/contains?key=-1", "", 400},
+		{"GET", "/contains?key=2305843009213693951", "", 400}, // == MaxKey
+		{"POST", "/contains?key=1", "", 405},
+		{"POST", "/batch", "", 400},
+		{"POST", "/batch", "{", 400},
+		{"POST", "/batch", `{"keys":[]}`, 400},
+		{"POST", "/batch", `{"keys":[1], "extra":true}`, 400},
+		{"POST", "/batch", `{"keys":[2305843009213693951]}`, 400},
+		{"GET", "/batch", "", 405},
+		{"POST", "/insert", "", 400},
+		{"POST", "/insert?key=x", "", 400},
+		{"GET", "/insert?key=1", "", 405},
+		{"POST", "/delete?key=y", "", 400},
+		{"GET", "/delete?key=1", "", 405},
+		{"GET", "/debug/timeline?since=x", "", 400},
+	} {
+		var rec *httptest.ResponseRecorder
+		if tc.method == "GET" {
+			rec = get(mux, tc.path)
+		} else {
+			rec = post(mux, tc.path, tc.body)
+		}
+		if rec.Code != tc.want {
+			t.Errorf("%s %s (body %q): status %d, want %d", tc.method, tc.path, tc.body, rec.Code, tc.want)
+		}
+	}
+	// The oversized batch: one over the limit.
+	keys := make([]uint64, batchLimit+1)
+	body, _ := json.Marshal(batchRequest{Keys: keys})
+	if rec := post(mux, "/batch", string(body)); rec.Code != 400 {
+		t.Errorf("oversized batch: status %d, want 400", rec.Code)
+	}
+}
+
+// TestMetricsContract: the shared RequiredMetrics names and the server's own
+// HTTP series all appear, and the request/error ledgers reflect the traffic
+// this test drove.
+func TestMetricsContract(t *testing.T) {
+	_, mux := newTestMux(t, 128, 19)
+	keys := workload.MemberKeys(128, 19)
+	for _, k := range keys[:16] {
+		get(mux, fmt.Sprintf("/contains?key=%d", k))
+	}
+	get(mux, "/contains?key=x") // one contains error
+	body := get(mux, "/metrics").Body.String()
+	for _, name := range serve.RequiredMetrics {
+		if !strings.Contains(body, name) {
+			t.Errorf("missing metric %s", name)
+		}
+	}
+	for _, want := range []string{
+		`lcds_http_requests_total{handler="contains"} 17`,
+		`lcds_http_errors_total{handler="contains"} 1`,
+		`lcds_http_requests_total{handler="batch"} 0`,
+		`lcds_http_request_ns{handler="contains",quantile="0.99"}`,
+		`lcds_http_request_ns{handler="all",quantile="0.999"}`,
+		`lcds_http_request_ns_count{handler="all"} 17`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing sample %q", want)
+		}
+	}
+}
+
+// TestInfoAndHealth pins the operational endpoints.
+func TestInfoAndHealth(t *testing.T) {
+	_, mux := newTestMux(t, 64, 23)
+	if rec := get(mux, "/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz: %d %q", rec.Code, rec.Body)
+	}
+	var info struct {
+		N       int     `json:"n"`
+		Seed    uint64  `json:"seed"`
+		Shards  int     `json:"shards"`
+		Epsilon float64 `json:"epsilon"`
+		Absorb  bool    `json:"absorb"`
+	}
+	rec := get(mux, "/info")
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 64 || info.Seed != 23 || info.Shards != 1 || info.Epsilon != 0.1 || info.Absorb {
+		t.Fatalf("/info answered %+v", info)
+	}
+}

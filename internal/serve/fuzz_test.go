@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	lcds "repro"
+
+	"repro/internal/workload"
+)
+
+// FuzzTimelineParams: arbitrary since/max cursor strings must either parse
+// cleanly or produce an error — and driven through the live handler, any
+// error must surface as a 400, never a panic or a 5xx. CI's fuzz-smoke
+// step runs this coverage-guided for a few seconds on every push.
+func FuzzTimelineParams(f *testing.F) {
+	keys := workload.MemberKeys(200, 3)
+	dd, err := lcds.NewDynamic(keys[:128], 0.1, lcds.WithSeed(3),
+		lcds.WithEventLog(lcds.EventLogConfig{}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, k := range keys[128:] {
+		if _, err := dd.Insert(k); err != nil {
+			f.Fatal(err)
+		}
+	}
+	dd.Quiesce()
+	handler := TimelineHandler(dd)
+
+	f.Add("", "")
+	f.Add("0", "16")
+	f.Add("18446744073709551615", "4096")
+	f.Add("-1", "0")
+	f.Add("1e9", "2.5")
+	f.Add("؂٣", "𝟜")
+	f.Fuzz(func(t *testing.T, since, max string) {
+		_, m, err := ParseTimelineParams(since, max)
+		if err == nil && (m <= 0 || m > MaxTimelineMax) {
+			t.Fatalf("accepted max out of bounds: %d", m)
+		}
+		q := url.Values{}
+		if since != "" {
+			q.Set("since", since)
+		}
+		if max != "" {
+			q.Set("max", max)
+		}
+		rec := httptest.NewRecorder()
+		handler(rec, httptest.NewRequest("GET", "/debug/timeline?"+q.Encode(), nil))
+		if err != nil && rec.Code != 400 {
+			t.Fatalf("parse error %v but handler answered %d", err, rec.Code)
+		}
+		if err == nil && rec.Code != 200 {
+			t.Fatalf("valid params (since=%q max=%q) answered %d", since, max, rec.Code)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	lcds "repro"
+
+	"repro/internal/workload"
+)
+
+// TestWriteMetricsContract: every RequiredMetrics name appears for a plain
+// static dictionary, every sample line parses, and the drift block appears
+// only when provided.
+func TestWriteMetricsContract(t *testing.T) {
+	keys := workload.MemberKeys(512, 7)
+	d, err := lcds.New(keys, lcds.WithSeed(7), lcds.WithTelemetry(lcds.TelemetryConfig{TopK: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !d.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	var sb strings.Builder
+	WriteMetrics(&sb, d.Telemetry().Snapshot(), nil, d.Telemetry().Sample())
+	body := sb.String()
+	for _, name := range RequiredMetrics {
+		if !strings.Contains(body, name) {
+			t.Errorf("missing metric %s", name)
+		}
+	}
+	if strings.Contains(body, "lcds_max_phi_ratio_vs_exact") {
+		t.Error("drift gauges present without a drift block")
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+	}
+
+	sb.Reset()
+	WriteMetrics(&sb, d.Telemetry().Snapshot(), &Drift{MaxPhiRatio: 1, ProbesRatio: 1}, 1)
+	if !strings.Contains(sb.String(), "lcds_max_phi_ratio_vs_exact 1") {
+		t.Error("drift block missing when provided")
+	}
+}
+
+// TestParseTimelineParams pins the cursor grammar and the page-size cap.
+func TestParseTimelineParams(t *testing.T) {
+	since, max, err := ParseTimelineParams("", "")
+	if err != nil || since != 0 || max != DefaultTimelineMax {
+		t.Fatalf("defaults: since=%d max=%d err=%v", since, max, err)
+	}
+	since, max, err = ParseTimelineParams("17", "3")
+	if err != nil || since != 17 || max != 3 {
+		t.Fatalf("explicit: since=%d max=%d err=%v", since, max, err)
+	}
+	if _, max, err := ParseTimelineParams("", "99999999"); err != nil || max != MaxTimelineMax {
+		t.Fatalf("cap: max=%d err=%v", max, err)
+	}
+	for _, bad := range [][2]string{
+		{"x", ""}, {"-1", ""}, {"", "0"}, {"", "-3"}, {"", "x"}, {"1e3", ""}, {"", "2.5"},
+	} {
+		if _, _, err := ParseTimelineParams(bad[0], bad[1]); err == nil {
+			t.Errorf("since=%q max=%q accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// TestTimelineHandler serves a real dynamic dictionary's recorder through
+// the handler and checks pagination plus the 400 paths.
+func TestTimelineHandler(t *testing.T) {
+	keys := workload.MemberKeys(1500, 17)
+	dd, err := lcds.NewDynamic(keys[:1000], 0.05, lcds.WithSeed(17),
+		lcds.WithTelemetry(lcds.TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[1000:1300] {
+		if _, err := dd.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dd.Quiesce()
+	h := TimelineHandler(dd)
+
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/debug/timeline?max=4", nil))
+	var page1 TimelineReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &page1); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(page1.Events) != 4 {
+		t.Fatalf("page 1 has %d events, want 4", len(page1.Events))
+	}
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET",
+		"/debug/timeline?since="+strconv.FormatUint(page1.NextCursor, 10), nil))
+	var page2 TimelineReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &page2); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(page2.Events) == 0 {
+		t.Fatal("page 2 empty: cursor did not advance")
+	}
+	if first := page2.Events[0].Seq; first != page1.NextCursor+1 {
+		t.Fatalf("page 2 starts at seq %d, want %d", first, page1.NextCursor+1)
+	}
+	for _, bad := range []string{"?since=x", "?max=0", "?max=x", "?since=-2", "?max=1.5"} {
+		rec = httptest.NewRecorder()
+		h(rec, httptest.NewRequest("GET", "/debug/timeline"+bad, nil))
+		if rec.Code != 400 {
+			t.Errorf("query %q got status %d, want 400", bad, rec.Code)
+		}
+	}
+}

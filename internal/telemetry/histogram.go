@@ -73,16 +73,60 @@ func (h *LogHistogram) Snapshot() HistogramSnapshot {
 		return s
 	}
 	s.Buckets = raw[:last+1]
-	s.Mean = float64(s.Sum) / float64(s.Count)
-	s.Max = BucketUpper(last)
-	s.P50 = h.quantile(s.Buckets, s.Count, 0.50)
-	s.P99 = h.quantile(s.Buckets, s.Count, 0.99)
-	s.P999 = h.quantile(s.Buckets, s.Count, 0.999)
+	s.fillDerived()
 	return s
 }
 
-// quantile returns the upper bound of the bucket holding the q-quantile.
-func (h *LogHistogram) quantile(buckets []uint64, count uint64, q float64) uint64 {
+// fillDerived recomputes every derived field (mean, max, quantiles) from
+// Count, Sum, and Buckets. Buckets must already be trimmed to the last
+// non-empty bucket and Count must equal their sum.
+func (s *HistogramSnapshot) fillDerived() {
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	s.Max = BucketUpper(len(s.Buckets) - 1)
+	s.P50 = bucketQuantile(s.Buckets, s.Count, 0.50)
+	s.P99 = bucketQuantile(s.Buckets, s.Count, 0.99)
+	s.P999 = bucketQuantile(s.Buckets, s.Count, 0.999)
+}
+
+// MergeHistogramSnapshots folds any number of snapshots into one aggregate:
+// bucket-wise count sums with the derived fields (mean, max, quantiles)
+// recomputed over the merged buckets. Because the buckets are plain counts,
+// merging per-worker snapshots is exactly equivalent to having observed
+// every value on a single histogram — the aggregation path an open-loop
+// load generator uses to combine its workers' latency records.
+func MergeHistogramSnapshots(snaps ...HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	var buckets []uint64
+	for _, s := range snaps {
+		out.Count += s.Count
+		out.Sum += s.Sum
+		for k, c := range s.Buckets {
+			if c == 0 {
+				continue
+			}
+			for len(buckets) <= k {
+				buckets = append(buckets, 0)
+			}
+			buckets[k] += c
+		}
+	}
+	last := -1
+	for k, c := range buckets {
+		if c > 0 {
+			last = k
+		}
+	}
+	if last < 0 {
+		return HistogramSnapshot{Count: out.Count, Sum: out.Sum}
+	}
+	out.Buckets = buckets[:last+1]
+	out.fillDerived()
+	return out
+}
+
+// bucketQuantile returns the upper bound of the bucket holding the
+// q-quantile of count observations spread over buckets.
+func bucketQuantile(buckets []uint64, count uint64, q float64) uint64 {
 	target := uint64(q * float64(count))
 	if target >= count {
 		target = count - 1

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestHistogramEmpty pins the zero-observation snapshot: all fields zero,
+// no buckets, and quantiles that do not invent data.
+func TestHistogramEmpty(t *testing.T) {
+	s := NewLogHistogram().Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot carries data: %+v", s)
+	}
+	if s.P50 != 0 || s.P99 != 0 || s.P999 != 0 {
+		t.Fatalf("empty snapshot has quantiles: %+v", s)
+	}
+	if s.Buckets != nil {
+		t.Fatalf("empty snapshot has buckets: %v", s.Buckets)
+	}
+}
+
+// TestHistogramSingleBucket: every observation in one bucket makes every
+// quantile that bucket's upper bound, including the degenerate single
+// observation.
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(700) // bits.Len64(700) = 10, bucket [512, 1024)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 700 || s.Mean != 700 {
+		t.Fatalf("single observation: %+v", s)
+	}
+	want := BucketUpper(bits.Len64(700))
+	if s.P50 != want || s.P99 != want || s.P999 != want || s.Max != want {
+		t.Fatalf("single-bucket quantiles: p50=%d p99=%d p999=%d max=%d, want all %d",
+			s.P50, s.P99, s.P999, s.Max, want)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(700)
+	}
+	s = h.Snapshot()
+	if s.Count != 100 || s.P50 != want || s.P999 != want {
+		t.Fatalf("repeated single-bucket: %+v", s)
+	}
+}
+
+// TestHistogramZeroValue: observing 0 lands in bucket 0 with upper bound 1.
+func TestHistogramZeroValue(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || len(s.Buckets) != 1 || s.Buckets[0] != 1 {
+		t.Fatalf("zero observation: %+v", s)
+	}
+	if s.P50 != 1 || s.Max != 1 {
+		t.Fatalf("zero-value quantiles: %+v", s)
+	}
+}
+
+// TestHistogramP999FewSamples: with fewer than 1000 samples the p999 target
+// index clamps to the last observation, so p999 reports the bucket of the
+// maximum — not a fabricated tail.
+func TestHistogramP999FewSamples(t *testing.T) {
+	h := NewLogHistogram()
+	// 9 small values and one large outlier: any quantile above 90% must land
+	// in the outlier's bucket.
+	for i := 0; i < 9; i++ {
+		h.Observe(100) // bucket 7: [64, 128)
+	}
+	h.Observe(1 << 20) // bucket 21
+	s := h.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if want := BucketUpper(7); s.P50 != want {
+		t.Fatalf("p50 = %d, want %d", s.P50, want)
+	}
+	outlier := BucketUpper(21)
+	if s.P99 != outlier || s.P999 != outlier || s.Max != outlier {
+		t.Fatalf("tail quantiles p99=%d p999=%d max=%d, want %d", s.P99, s.P999, s.Max, outlier)
+	}
+	// One single sample: p999 = that sample's bucket.
+	h1 := NewLogHistogram()
+	h1.Observe(3)
+	if s := h1.Snapshot(); s.P999 != BucketUpper(bits.Len64(3)) {
+		t.Fatalf("single-sample p999 = %d", s.P999)
+	}
+}
+
+// TestHistogramMerge pins the aggregation contract: merging per-worker
+// snapshots equals one histogram that observed every value.
+func TestHistogramMerge(t *testing.T) {
+	values := [][]uint64{
+		{1, 5, 700, 1 << 30},
+		{0, 0, 3, 900, 901, 902},
+		{1 << 40},
+	}
+	all := NewLogHistogram()
+	var parts []HistogramSnapshot
+	for _, vs := range values {
+		h := NewLogHistogram()
+		for _, v := range vs {
+			h.Observe(v)
+			all.Observe(v)
+		}
+		parts = append(parts, h.Snapshot())
+	}
+	got := MergeHistogramSnapshots(parts...)
+	want := all.Snapshot()
+	if got.Count != want.Count || got.Sum != want.Sum || got.Mean != want.Mean {
+		t.Fatalf("merged totals %+v, want %+v", got, want)
+	}
+	if got.P50 != want.P50 || got.P99 != want.P99 || got.P999 != want.P999 || got.Max != want.Max {
+		t.Fatalf("merged quantiles %+v, want %+v", got, want)
+	}
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged buckets %v, want %v", got.Buckets, want.Buckets)
+	}
+	for k := range want.Buckets {
+		if got.Buckets[k] != want.Buckets[k] {
+			t.Fatalf("bucket %d: %d vs %d", k, got.Buckets[k], want.Buckets[k])
+		}
+	}
+}
+
+// TestHistogramMergeEdges: merging nothing, merging empties, and merging an
+// empty with a populated snapshot.
+func TestHistogramMergeEdges(t *testing.T) {
+	if s := MergeHistogramSnapshots(); s.Count != 0 || s.Buckets != nil {
+		t.Fatalf("merge of nothing: %+v", s)
+	}
+	empty := NewLogHistogram().Snapshot()
+	if s := MergeHistogramSnapshots(empty, empty); s.Count != 0 || s.P999 != 0 {
+		t.Fatalf("merge of empties: %+v", s)
+	}
+	h := NewLogHistogram()
+	h.Observe(42)
+	one := h.Snapshot()
+	got := MergeHistogramSnapshots(empty, one, empty)
+	if got.Count != 1 || got.Sum != 42 || got.P50 != one.P50 || got.Max != one.Max {
+		t.Fatalf("merge with empties %+v, want %+v", got, one)
+	}
+	// Merge is associative over buckets: ((a+b)+c) == (a+(b+c)).
+	h2 := NewLogHistogram()
+	h2.Observe(1 << 10)
+	h2.Observe(7)
+	two := h2.Snapshot()
+	left := MergeHistogramSnapshots(MergeHistogramSnapshots(one, two), empty)
+	right := MergeHistogramSnapshots(one, MergeHistogramSnapshots(two, empty))
+	if left.Count != right.Count || left.P999 != right.P999 || left.Sum != right.Sum {
+		t.Fatalf("merge not associative: %+v vs %+v", left, right)
+	}
+}
